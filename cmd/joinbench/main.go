@@ -1,0 +1,125 @@
+// Command joinbench runs the full reproduction suite — every experiment in
+// DESIGN.md's index — and prints the paper-vs-measured tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	joinbench [-quick] [-seed N] [-only E1,E3,...]
+//
+// -quick lowers trial counts and scales for a fast smoke run; -only selects
+// a comma-separated subset of experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced trial counts and scales")
+	seed := flag.Int64("seed", 1992, "random seed for the randomized experiments")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+	want := func(id string) bool {
+		if len(selected) == 0 {
+			return true
+		}
+		for _, part := range strings.Split(id, "/") {
+			if selected[part] {
+				return true
+			}
+		}
+		return false
+	}
+
+	trials := 200
+	measured := []int64{6, 10, 16, 20}
+	e3Scale := int64(10)
+	if *quick {
+		trials = 30
+		measured = []int64{6, 10}
+	}
+	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
+	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
+	analytic := []int64{100, 1000}
+
+	runs := []struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}{
+		{"E1", func() (*experiments.Table, error) { return experiments.Example3Costs(measured, analytic) }},
+		{"E2", experiments.Algorithm1Example},
+		{"E3", func() (*experiments.Table, error) { return experiments.Algorithm2Example(e3Scale) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.Theorem1Verification(trials, *seed) }},
+		{"E5/E6", func() (*experiments.Table, error) { return experiments.Theorem2Bound(trials/2, *seed) }},
+		{"E7", experiments.FullReducerExperiment},
+		{"E8", experiments.YannakakisExperiment},
+		{"E9", experiments.SearchSpaceSizes},
+		{"E10", func() (*experiments.Table, error) { return experiments.LinearCPFProbe(trials/10, *seed) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.HeadlineClaim(trials/20, *seed) }},
+		{"E12", func() (*experiments.Table, error) { return experiments.TreeProjectionExperiment(trials/25, *seed) }},
+		{"E13", func() (*experiments.Table, error) { return experiments.InvariantAudit(trials/5, *seed) }},
+		{"EX1", func() (*experiments.Table, error) { return experiments.OptimizerComparison(*seed) }},
+		{"EX2", func() (*experiments.Table, error) { return experiments.StrategyComparison(*seed) }},
+		{"EX3", func() (*experiments.Table, error) { return experiments.OptimalShapeSurvey(trials/4, *seed) }},
+		{"EX4", func() (*experiments.Table, error) { return experiments.EstimatorAccuracy(*seed) }},
+		{"EX5", func() (*experiments.Table, error) { return experiments.TriangleExperiment(*seed) }},
+	}
+
+	fmt.Println("Reproduction suite — Morishita, \"Avoiding Cartesian Products in Programs for Multiple Joins\" (PODS 1992)")
+	fmt.Println()
+	if want("E2") || want("E3") {
+		fmt.Println(experiments.FigureTrees())
+		fmt.Println()
+	}
+	failed := 0
+	for _, r := range runs {
+		if !want(r.id) {
+			continue
+		}
+		table, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.id, err)
+			failed++
+			continue
+		}
+		table.Render(os.Stdout)
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, table); err != nil {
+				fmt.Fprintf(os.Stderr, "csv %s: %v\n", r.id, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeCSV stores a table as <dir>/<id>.csv.
+func writeCSV(dir string, table *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(table.ID, "/", "-") + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	table.RenderCSV(f)
+	return f.Close()
+}

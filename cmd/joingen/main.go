@@ -1,0 +1,124 @@
+// Command joingen writes workload databases to disk as TSV files, one file
+// per relation, for use with cpfderive -data or any external tool.
+//
+// Usage:
+//
+//	joingen -out dir -cycle 4 -m 2 -payload "500,50,5,50"   # Example-3 family
+//	joingen -out dir -example3 10                           # the paper-shaped instance at scale q
+//	joingen -out dir -scheme "ABC CDE EFG" -size 50 -domain 5 -seed 3
+//	joingen -out dir -chain 4 -domain 12 -dangling 6
+//
+// Exactly one of -cycle, -example3, -scheme, -chain selects the generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	cycle := flag.Int("cycle", 0, "generate the cycle family with this many relations")
+	m := flag.Int64("m", 2, "cycle link-domain size")
+	payload := flag.String("payload", "", "comma-separated per-relation payload counts for -cycle")
+	example3 := flag.Int64("example3", 0, "generate the paper-shaped Example 3 instance at this (even) scale")
+	scheme := flag.String("scheme", "", "generate random data over this scheme")
+	size := flag.Int("size", 50, "tuples per relation for -scheme")
+	domain := flag.Int("domain", 5, "attribute domain for -scheme, value domain for -chain")
+	seed := flag.Int64("seed", 1, "random seed for -scheme")
+	chain := flag.Int("chain", 0, "generate the successor-chain database with this many relations")
+	dangling := flag.Int("dangling", 0, "dangling tuples per relation for -chain")
+	flag.Parse()
+
+	db, err := build(*cycle, *m, *payload, *example3, *scheme, *size, *domain, *seed, *chain, *dangling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		rel := db.Relation(i)
+		path := filepath.Join(*out, fmt.Sprintf("r%d_%s.tsv", i+1, sanitize(rel.Schema().String())))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rel.WriteTSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d tuples over %s)\n", path, rel.Len(), rel.Schema())
+	}
+}
+
+func build(cycle int, m int64, payload string, example3 int64, scheme string, size, domain int, seed int64, chain, dangling int) (*relation.Database, error) {
+	selected := 0
+	for _, on := range []bool{cycle > 0, example3 > 0, scheme != "", chain > 0} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("select exactly one generator: -cycle, -example3, -scheme, or -chain")
+	}
+	switch {
+	case example3 > 0:
+		spec, err := workload.Example3(example3)
+		if err != nil {
+			return nil, err
+		}
+		return spec.CycleDatabase()
+	case cycle > 0:
+		payloads := make([]int64, 0, cycle)
+		if payload == "" {
+			for i := 0; i < cycle; i++ {
+				payloads = append(payloads, 10)
+			}
+		} else {
+			for _, p := range strings.Split(payload, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad payload list %q: %v", payload, err)
+				}
+				payloads = append(payloads, v)
+			}
+		}
+		spec := workload.CycleSpec{Relations: cycle, M: m, Payloads: payloads}
+		return spec.CycleDatabase()
+	case chain > 0:
+		if dangling > 0 {
+			return workload.DanglingChainDatabase(chain, domain, dangling)
+		}
+		return workload.ChainDatabase(chain, domain)
+	default:
+		h, err := hypergraph.ParseScheme(scheme)
+		if err != nil {
+			return nil, err
+		}
+		return workload.RandomDatabase(rand.New(rand.NewSource(seed)), h, size, domain)
+	}
+}
+
+// sanitize makes a schema string safe as a file-name fragment.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '(', ')', ',', ' ':
+			return '_'
+		}
+		return r
+	}, s)
+}

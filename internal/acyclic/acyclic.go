@@ -1,0 +1,166 @@
+// Package acyclic implements the classical machinery for acyclic database
+// schemes that the paper builds on (§1): the Bernstein–Goodman full reducer
+// (a semijoin program that makes the database globally consistent), monotone
+// join expressions (no intermediate larger than the final join), and
+// Yannakakis' polynomial algorithm for project-join queries.
+//
+// Example 3 of the paper uses this machinery negatively: its cyclic database
+// is pairwise consistent, so a full reducer removes nothing, while the join
+// has a single tuple.
+package acyclic
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/program"
+	"repro/internal/relation"
+)
+
+// FullReducer builds the Bernstein–Goodman semijoin program for an acyclic
+// scheme: an upward sweep of semijoins along a GYO join tree (each parent
+// reduced by its child, children first), then a downward sweep (each child
+// reduced by its parent). Applying it to any database over the scheme makes
+// the database globally consistent. The returned program's statements all
+// have the §2.2 in-place form "R(R) := R(R) ⋉ R(S)"; its output is the root
+// relation.
+//
+// It returns an error when the scheme is cyclic.
+func FullReducer(h *hypergraph.Hypergraph) (*program.Program, *hypergraph.JoinTree, error) {
+	jt, ok := h.GYO()
+	if !ok {
+		return nil, nil, fmt.Errorf("acyclic: scheme %s is cyclic", h)
+	}
+	names := jointree.SchemeNames(h)
+	p := &program.Program{Inputs: names, Output: names[jt.Root]}
+	// Upward: ears were removed leaves-first, so reducing each removed
+	// node's parent in removal order sees fully-reduced children.
+	for _, e := range jt.RemovalOrder {
+		f := jt.Parent[e]
+		p.Stmts = append(p.Stmts, program.Stmt{
+			Op: program.OpSemijoin, Head: names[f], Arg1: names[f], Arg2: names[e],
+		})
+	}
+	// Downward: in reverse removal order, each removed node is reduced by
+	// its (already consistent) parent.
+	for i := len(jt.RemovalOrder) - 1; i >= 0; i-- {
+		e := jt.RemovalOrder[i]
+		f := jt.Parent[e]
+		p.Stmts = append(p.Stmts, program.Stmt{
+			Op: program.OpSemijoin, Head: names[e], Arg1: names[e], Arg2: names[f],
+		})
+	}
+	return p, jt, nil
+}
+
+// Reduce applies the full reducer to db and returns the reduced database
+// (same scheme, possibly smaller relations) plus the semijoin program's
+// cost. The input database is not modified.
+func Reduce(db *relation.Database) (*relation.Database, int, error) {
+	h := hypergraph.OfScheme(db)
+	p, _, err := FullReducer(h)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Run the program manually so we can capture every reduced input.
+	env := make([]*relation.Relation, db.Len())
+	nameIdx := make(map[string]int, db.Len())
+	for i, n := range p.Inputs {
+		env[i] = db.Relation(i)
+		nameIdx[n] = i
+	}
+	cost := db.TotalTuples()
+	for _, s := range p.Stmts {
+		head := nameIdx[s.Head]
+		env[head] = relation.Semijoin(env[nameIdx[s.Arg1]], env[nameIdx[s.Arg2]])
+		cost += env[head].Len()
+	}
+	out, err := relation.NewDatabase(env...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, cost, nil
+}
+
+// MonotoneTree returns a monotone join expression for an acyclic scheme: a
+// linear tree that joins the relations in reverse GYO-removal order
+// (root first, then each ear under its already-included parent). On a
+// globally consistent database, every intermediate result of this tree has
+// no more tuples than the final join.
+func MonotoneTree(jt *hypergraph.JoinTree) *jointree.Tree {
+	t := jointree.NewLeaf(jt.Root)
+	for i := len(jt.RemovalOrder) - 1; i >= 0; i-- {
+		t = jointree.NewJoin(t, jointree.NewLeaf(jt.RemovalOrder[i]))
+	}
+	return t
+}
+
+// Join computes ⋈D for an acyclic scheme the classical way: full-reduce,
+// then evaluate the monotone join expression. It returns the result and the
+// total cost (semijoin program cost plus monotone join cost, counting the
+// reduced relations once as the join's inputs).
+func Join(db *relation.Database) (*relation.Relation, int, error) {
+	reduced, reduceCost, err := Reduce(db)
+	if err != nil {
+		return nil, 0, err
+	}
+	h := hypergraph.OfScheme(db)
+	jt, ok := h.GYO()
+	if !ok {
+		return nil, 0, fmt.Errorf("acyclic: scheme %s is cyclic", h)
+	}
+	t := MonotoneTree(jt)
+	out, joinCost := t.Eval(reduced)
+	// The reduced relations were already counted by the reducer; subtract
+	// their double-count as the tree's leaves.
+	return out, reduceCost + joinCost - reduced.TotalTuples(), nil
+}
+
+// Yannakakis computes π_out(⋈D) for an acyclic scheme in time polynomial in
+// the input and output sizes: full-reduce, then sweep the join tree
+// bottom-up, joining each child into its parent and projecting onto the
+// parent's attributes plus any output attributes collected in the child's
+// subtree. The root is finally projected onto out.
+//
+// out must be a subset of the scheme's attributes.
+func Yannakakis(db *relation.Database, out relation.AttrSet) (*relation.Relation, int, error) {
+	h := hypergraph.OfScheme(db)
+	if !h.Attrs().ContainsAll(out) {
+		return nil, 0, fmt.Errorf("acyclic: output attributes %s not all in scheme %s", out, h)
+	}
+	reduced, cost, err := Reduce(db)
+	if err != nil {
+		return nil, 0, err
+	}
+	jt, ok := h.GYO()
+	if !ok {
+		return nil, 0, fmt.Errorf("acyclic: scheme %s is cyclic", h)
+	}
+	rels := make([]*relation.Relation, db.Len())
+	for i := range rels {
+		rels[i] = reduced.Relation(i)
+	}
+	// Each removed ear is joined into its parent in removal order (children
+	// always precede parents), keeping only the parent's own attributes and
+	// the output attributes gathered so far.
+	for _, e := range jt.RemovalOrder {
+		f := jt.Parent[e]
+		joined := relation.Join(rels[f], rels[e])
+		cost += joined.Len()
+		keep := h.Edge(f).Union(out.Intersect(joined.Schema().AttrSet()))
+		keep = keep.Intersect(joined.Schema().AttrSet())
+		projected, err := relation.Project(joined, keep)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost += projected.Len()
+		rels[f] = projected
+	}
+	final, err := relation.Project(rels[jt.Root], out)
+	if err != nil {
+		return nil, 0, err
+	}
+	cost += final.Len()
+	return final, cost, nil
+}

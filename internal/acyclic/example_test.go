@@ -1,0 +1,47 @@
+package acyclic_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acyclic"
+	"repro/internal/workload"
+)
+
+// ExampleFullReducer prints the Bernstein–Goodman semijoin program for a
+// chain of three relations: an upward sweep then a downward sweep.
+func ExampleFullReducer() {
+	h, err := workload.ChainScheme(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, _, err := acyclic.FullReducer(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+	// Output:
+	// R({x1,x2}) := R({x1,x2}) ⋉ R({x0,x1})
+	// R({x2,x3}) := R({x2,x3}) ⋉ R({x1,x2})
+	// R({x1,x2}) := R({x1,x2}) ⋉ R({x2,x3})
+	// R({x0,x1}) := R({x0,x1}) ⋉ R({x1,x2})
+}
+
+// ExampleReduce shows a full reduction removing dangling tuples.
+func ExampleReduce() {
+	db, err := workload.DanglingChainDatabase(3, 8, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced, _, err := acyclic.Reduce(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("before:", db.TotalTuples(), "tuples")
+	fmt.Println("after: ", reduced.TotalTuples(), "tuples")
+	fmt.Println("globally consistent:", reduced.GloballyConsistent())
+	// Output:
+	// before: 33 tuples
+	// after:  15 tuples
+	// globally consistent: true
+}

@@ -1,0 +1,302 @@
+// Package core implements the paper's two algorithms and their composition:
+//
+//   - Algorithm 1 (CPFify) turns an arbitrary join expression tree over a
+//     connected database scheme into a Cartesian-product-free tree, working
+//     bottom-up over the connected components of every node.
+//   - Algorithm 2 (Derive) turns any CPF join expression tree into a program
+//     of joins, semijoins, and projections that computes ⋈D (Theorem 1);
+//     when the CPF tree came from Algorithm 1 applied to a tree T1, the
+//     program's cost is < r(a+5) · cost(T1(D)) whenever ⋈D ≠ ∅ (Theorem 2).
+//
+// Algorithm 1's Steps 1 and 3 choose freely among several candidates; the
+// choice is a first-class ChoicePolicy here, and EnumerateCPFifications
+// explores every choice (Example 5's sixteen trees).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+// ChoicePolicy resolves the nondeterministic choices in Algorithm 1.
+// Candidates are connected component masks; both methods return an index
+// into the candidate slice.
+type ChoicePolicy interface {
+	// PickInitial chooses the starting scheme 𝒳 among the members of Γ
+	// (Step 1).
+	PickInitial(gamma []hypergraph.Mask) int
+	// PickNext chooses the next scheme 𝒲 among the members of Γ whose
+	// union with the current 𝒳 is connected (Step 3). x is the current 𝒳.
+	PickNext(x hypergraph.Mask, eligible []hypergraph.Mask) int
+}
+
+// FirstChoice deterministically picks the candidate containing the lowest
+// relation index. It makes CPFify a pure function of its inputs.
+type FirstChoice struct{}
+
+// PickInitial implements ChoicePolicy.
+func (FirstChoice) PickInitial(gamma []hypergraph.Mask) int { return lowestMaskIndex(gamma) }
+
+// PickNext implements ChoicePolicy.
+func (FirstChoice) PickNext(_ hypergraph.Mask, eligible []hypergraph.Mask) int {
+	return lowestMaskIndex(eligible)
+}
+
+func lowestMaskIndex(ms []hypergraph.Mask) int {
+	best := 0
+	for i := 1; i < len(ms); i++ {
+		if ms[i] < ms[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RandomChoice picks uniformly at random using the given source; useful for
+// sampling the space of CPFifications.
+type RandomChoice struct{ Rng *rand.Rand }
+
+// PickInitial implements ChoicePolicy.
+func (c RandomChoice) PickInitial(gamma []hypergraph.Mask) int { return c.Rng.Intn(len(gamma)) }
+
+// PickNext implements ChoicePolicy.
+func (c RandomChoice) PickNext(_ hypergraph.Mask, eligible []hypergraph.Mask) int {
+	return c.Rng.Intn(len(eligible))
+}
+
+// CPFify runs Algorithm 1: given a join expression tree t exactly over the
+// scheme of h, which must be connected, it returns a CPF join expression
+// tree over the same scheme. The choice policy resolves Steps 1 and 3; nil
+// means FirstChoice.
+func CPFify(t *jointree.Tree, h *hypergraph.Hypergraph, policy ChoicePolicy) (*jointree.Tree, error) {
+	if policy == nil {
+		policy = FirstChoice{}
+	}
+	if err := t.Validate(h); err != nil {
+		return nil, err
+	}
+	if !h.Connected(h.Full()) {
+		return nil, fmt.Errorf("core: Algorithm 1 requires a connected database scheme, got %s", h)
+	}
+	table := make(map[hypergraph.Mask]*jointree.Tree)
+	if err := cpfifyNode(t, h, policy, table); err != nil {
+		return nil, err
+	}
+	out, ok := table[h.Full()]
+	if !ok {
+		return nil, fmt.Errorf("core: internal error: no CPF tree registered for the root scheme")
+	}
+	return out, nil
+}
+
+// cpfifyNode processes t's nodes in postorder, maintaining the table of CPF
+// trees per connected component, exactly as Algorithm 1 prescribes.
+func cpfifyNode(t *jointree.Tree, h *hypergraph.Hypergraph, policy ChoicePolicy, table map[hypergraph.Mask]*jointree.Tree) error {
+	if t.IsLeaf() {
+		table[t.Mask()] = jointree.NewLeaf(t.Leaf)
+		return nil
+	}
+	if err := cpfifyNode(t.Left, h, policy, table); err != nil {
+		return err
+	}
+	if err := cpfifyNode(t.Right, h, policy, table); err != nil {
+		return err
+	}
+	u := t.Mask()
+	for _, comp := range h.Components(u) {
+		if _, done := table[comp]; done {
+			continue
+		}
+		gamma := gammaOf(h, t.Left.Mask(), t.Right.Mask(), comp)
+		tree, err := mergeGamma(h, policy, table, gamma)
+		if err != nil {
+			return err
+		}
+		table[comp] = tree
+	}
+	return nil
+}
+
+// gammaOf returns Γ: the components of 𝓛 and the components of 𝓡 whose
+// union is the component comp of 𝒰. Each component of a child is either
+// contained in comp or disjoint from it.
+func gammaOf(h *hypergraph.Hypergraph, left, right, comp hypergraph.Mask) []hypergraph.Mask {
+	var gamma []hypergraph.Mask
+	for _, c := range h.Components(left) {
+		if c&comp != 0 {
+			gamma = append(gamma, c)
+		}
+	}
+	for _, c := range h.Components(right) {
+		if c&comp != 0 {
+			gamma = append(gamma, c)
+		}
+	}
+	return gamma
+}
+
+// mergeGamma performs Steps 1–5: starting from a chosen element of Γ, it
+// repeatedly joins in an element whose union with the accumulated scheme is
+// connected, building a CPF tree over ∪Γ.
+func mergeGamma(h *hypergraph.Hypergraph, policy ChoicePolicy, table map[hypergraph.Mask]*jointree.Tree, gamma []hypergraph.Mask) (*jointree.Tree, error) {
+	remaining := append([]hypergraph.Mask(nil), gamma...)
+	pick := policy.PickInitial(remaining)
+	x := remaining[pick]
+	tree, ok := table[x]
+	if !ok {
+		return nil, fmt.Errorf("core: internal error: component %s missing from table", x)
+	}
+	remaining = append(remaining[:pick], remaining[pick+1:]...)
+	for len(remaining) > 0 {
+		var eligible []int
+		for i, w := range remaining {
+			// 𝒳 ∪ 𝒲 is connected iff the two connected schemes share an
+			// attribute.
+			if h.Overlapping(x, w) {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			return nil, fmt.Errorf("core: internal error: no connectable scheme in Γ (scheme not connected?)")
+		}
+		masks := make([]hypergraph.Mask, len(eligible))
+		for i, e := range eligible {
+			masks[i] = remaining[e]
+		}
+		chosen := eligible[policy.PickNext(x, masks)]
+		w := remaining[chosen]
+		wTree, ok := table[w]
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: component %s missing from table", w)
+		}
+		tree = jointree.NewJoin(tree, wTree)
+		x |= w
+		remaining = append(remaining[:chosen], remaining[chosen+1:]...)
+	}
+	return tree, nil
+}
+
+// EnumerateCPFifications explores every resolution of Algorithm 1's
+// nondeterministic choices on tree t and returns the distinct CPF trees it
+// can produce, in a deterministic order. limit bounds the number of distinct
+// trees (0 means jointree.EnumerationLimit).
+func EnumerateCPFifications(t *jointree.Tree, h *hypergraph.Hypergraph, limit int) ([]*jointree.Tree, error) {
+	if limit <= 0 {
+		limit = jointree.EnumerationLimit
+	}
+	if err := t.Validate(h); err != nil {
+		return nil, err
+	}
+	if !h.Connected(h.Full()) {
+		return nil, fmt.Errorf("core: Algorithm 1 requires a connected database scheme, got %s", h)
+	}
+	seen := make(map[string]*jointree.Tree)
+	err := enumCPF(t, h, make(map[hypergraph.Mask]*jointree.Tree), func(table map[hypergraph.Mask]*jointree.Tree) error {
+		out := table[h.Full()]
+		key := out.Canon()
+		if _, dup := seen[key]; !dup {
+			if len(seen) >= limit {
+				return jointree.ErrTooMany
+			}
+			seen[key] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*jointree.Tree, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// enumCPF is the branching analogue of cpfifyNode: it processes the nodes of
+// t in postorder and, for each component needing Steps 1–5, branches over
+// every initial and every next choice, invoking done with the completed
+// table for each full resolution.
+func enumCPF(t *jointree.Tree, h *hypergraph.Hypergraph, table map[hypergraph.Mask]*jointree.Tree, done func(map[hypergraph.Mask]*jointree.Tree) error) error {
+	// Collect the internal nodes in postorder; leaves seed the table.
+	var nodes []*jointree.Tree
+	var collect func(n *jointree.Tree)
+	collect = func(n *jointree.Tree) {
+		if n.IsLeaf() {
+			table[n.Mask()] = jointree.NewLeaf(n.Leaf)
+			return
+		}
+		collect(n.Left)
+		collect(n.Right)
+		nodes = append(nodes, n)
+	}
+	collect(t)
+	return enumNodes(nodes, 0, h, table, done)
+}
+
+// enumNodes handles node i onward; each node may introduce several
+// components, each with its own choice branching.
+func enumNodes(nodes []*jointree.Tree, i int, h *hypergraph.Hypergraph, table map[hypergraph.Mask]*jointree.Tree, done func(map[hypergraph.Mask]*jointree.Tree) error) error {
+	if i == len(nodes) {
+		return done(table)
+	}
+	n := nodes[i]
+	var pending [][]hypergraph.Mask // Γ for each component needing construction
+	var comps []hypergraph.Mask
+	for _, comp := range h.Components(n.Mask()) {
+		if _, ok := table[comp]; ok {
+			continue
+		}
+		comps = append(comps, comp)
+		pending = append(pending, gammaOf(h, n.Left.Mask(), n.Right.Mask(), comp))
+	}
+	return enumComponents(nodes, i, comps, pending, 0, h, table, done)
+}
+
+// enumComponents branches over the Γ-merge of component j at node i, then
+// recurses into the next component or node. Table entries added for a branch
+// are removed on backtrack.
+func enumComponents(nodes []*jointree.Tree, i int, comps []hypergraph.Mask, pending [][]hypergraph.Mask, j int, h *hypergraph.Hypergraph, table map[hypergraph.Mask]*jointree.Tree, done func(map[hypergraph.Mask]*jointree.Tree) error) error {
+	if j == len(comps) {
+		return enumNodes(nodes, i+1, h, table, done)
+	}
+	gamma := pending[j]
+	var rec func(x hypergraph.Mask, tree *jointree.Tree, remaining []hypergraph.Mask) error
+	rec = func(x hypergraph.Mask, tree *jointree.Tree, remaining []hypergraph.Mask) error {
+		if len(remaining) == 0 {
+			table[comps[j]] = tree
+			err := enumComponents(nodes, i, comps, pending, j+1, h, table, done)
+			delete(table, comps[j])
+			return err
+		}
+		for k, w := range remaining {
+			if !h.Overlapping(x, w) {
+				continue
+			}
+			rest := make([]hypergraph.Mask, 0, len(remaining)-1)
+			rest = append(rest, remaining[:k]...)
+			rest = append(rest, remaining[k+1:]...)
+			if err := rec(x|w, jointree.NewJoin(tree, table[w]), rest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for k, x := range gamma {
+		rest := make([]hypergraph.Mask, 0, len(gamma)-1)
+		rest = append(rest, gamma[:k]...)
+		rest = append(rest, gamma[k+1:]...)
+		if err := rec(x, table[x], rest); err != nil {
+			return err
+		}
+	}
+	return nil
+}

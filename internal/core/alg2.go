@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/program"
+	"repro/internal/relation"
+)
+
+// Derivation is the output of Algorithm 2: the program plus bookkeeping
+// useful for inspection and for checking the paper's bounds.
+type Derivation struct {
+	// Program computes ⋈D when applied to any database over the scheme
+	// (Theorem 1).
+	Program *program.Program
+	// Tree is the CPF join expression tree the program was derived from.
+	Tree *jointree.Tree
+	// Scheme is the database scheme the derivation ran over.
+	Scheme *hypergraph.Hypergraph
+	// Annotations records, per statement, the node subset 𝒱ᵢ from the
+	// Theorem 1 proof whose partial join the statement's head projects:
+	// after statement k, R(head) = π_schema(⋈D[Annotations[k]]). These are
+	// the proof's intermediate claims, checkable with VerifyInvariants.
+	Annotations []hypergraph.Mask
+	// QuasiFactor is r(a+5) for the scheme, the Theorem 2 cost factor and
+	// the Claim C statement-count bound.
+	QuasiFactor int
+}
+
+// QuasiFactor returns r(a+5) for a scheme with r relation scheme occurrences
+// and a attributes — the data-independent factor of Theorem 2.
+func QuasiFactor(r, a int) int { return r * (a + 5) }
+
+// Derive runs Algorithm 2 on a CPF join expression tree t exactly over the
+// scheme of h, which must be connected. The returned program, applied to any
+// database over the scheme, computes ⋈D in its output relation.
+func Derive(t *jointree.Tree, h *hypergraph.Hypergraph) (*Derivation, error) {
+	if err := t.Validate(h); err != nil {
+		return nil, err
+	}
+	if !h.Connected(h.Full()) {
+		return nil, fmt.Errorf("core: Algorithm 2 requires a connected database scheme, got %s", h)
+	}
+	if !t.IsCPF(h) {
+		return nil, fmt.Errorf("core: Algorithm 2 requires a Cartesian-product-free tree, got %s", t.String(h))
+	}
+
+	d := &deriver{
+		h:      h,
+		names:  jointree.SchemeNames(h),
+		attach: make(map[*jointree.Tree]string),
+	}
+	d.prog = &program.Program{Inputs: d.names}
+
+	// "First visit all leaves": attach the input name to every leaf.
+	var attachLeaves func(n *jointree.Tree)
+	attachLeaves = func(n *jointree.Tree) {
+		if n.IsLeaf() {
+			d.attach[n] = d.names[n.Leaf]
+			return
+		}
+		attachLeaves(n.Left)
+		attachLeaves(n.Right)
+	}
+	attachLeaves(t)
+
+	// S is the root plus every internal node that is the right child of its
+	// parent; visit S bottom-up (postorder reaches children before parents).
+	var visit func(n *jointree.Tree, isRoot, isRightChild bool)
+	visit = func(n *jointree.Tree, isRoot, isRightChild bool) {
+		if n.IsLeaf() {
+			return
+		}
+		visit(n.Left, false, false)
+		visit(n.Right, false, true)
+		if isRoot || isRightChild {
+			d.processSpine(n)
+		}
+	}
+	visit(t, true, false)
+
+	// The output is the relation attached to the root. For a single-leaf
+	// tree the program is empty and the output is that input.
+	d.prog.Output = d.attach[t]
+	if err := d.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: derived program fails validation: %v", err)
+	}
+	return &Derivation{
+		Program:     d.prog,
+		Tree:        t,
+		Scheme:      h,
+		Annotations: d.annots,
+		QuasiFactor: QuasiFactor(h.Len(), h.Attrs().Len()),
+	}, nil
+}
+
+// deriver carries Algorithm 2's state.
+type deriver struct {
+	h     *hypergraph.Hypergraph
+	names []string
+	prog  *program.Program
+	// annots parallels prog.Stmts; see Derivation.Annotations.
+	annots []hypergraph.Mask
+	// attach maps a visited node 𝒱 to the name of the relation R(V)
+	// holding ⋈D[𝒱] after the program runs.
+	attach map[*jointree.Tree]string
+	nextV  int
+	nextF  int
+}
+
+func (d *deriver) freshV() string {
+	d.nextV++
+	if d.nextV == 1 {
+		return "V"
+	}
+	return fmt.Sprintf("V%d", d.nextV)
+}
+
+func (d *deriver) freshF() string {
+	d.nextF++
+	if d.nextF == 1 {
+		return "F"
+	}
+	return fmt.Sprintf("F%d", d.nextF)
+}
+
+// processSpine performs Steps 1–18 for a node 𝒱 in S: walk from 𝒱 down left
+// children to the leaf 𝒱₀, with 𝒲ᵢ the right child of 𝒱ᵢ, and emit the
+// statements that compute ⋈D[𝒱] into a fresh variable, which is then
+// attached to 𝒱.
+func (d *deriver) processSpine(v *jointree.Tree) {
+	// Collect the left spine 𝒱₀, 𝒱₁, …, 𝒱ₙ = 𝒱 and the right children 𝒲ᵢ.
+	var spine []*jointree.Tree
+	for n := v; ; n = n.Left {
+		spine = append(spine, n)
+		if n.IsLeaf() {
+			break
+		}
+	}
+	// spine currently runs 𝒱ₙ … 𝒱₀; reverse it.
+	for i, j := 0, len(spine)-1; i < j; i, j = i+1, j-1 {
+		spine[i], spine[j] = spine[j], spine[i]
+	}
+	n := len(spine) - 1
+	w := make([]*jointree.Tree, n+1) // w[i] = 𝒲ᵢ, 1 ≤ i ≤ n
+	wAttrs := make([]relation.AttrSet, n+1)
+	for i := 1; i <= n; i++ {
+		w[i] = spine[i].Right
+		wAttrs[i] = d.h.AttrsOf(w[i].Mask())
+	}
+
+	// Step 1: create V and "set R(V) to R(V₀)". The paper treats this as an
+	// aliasing step, not a statement; we emit no statement and instead let
+	// the first assignment into V read from 𝒱₀'s relation.
+	vName := d.freshV()
+	cur := d.attach[spine[0]] // the name V currently aliases
+	vAttrs := d.h.AttrsOf(spine[0].Mask())
+
+	// emit appends a statement whose head is V; the first such statement
+	// reads through the alias. The annotation is the proof's 𝒱ᵢ mask for
+	// the statement (see Derivation.Annotations).
+	emitJoinV := func(arg string, annot hypergraph.Mask) {
+		d.prog.Stmts = append(d.prog.Stmts, program.Stmt{Op: program.OpJoin, Head: vName, Arg1: cur, Arg2: arg})
+		d.annots = append(d.annots, annot)
+		cur = vName
+	}
+	emitSemijoinV := func(arg string, annot hypergraph.Mask) {
+		d.prog.Stmts = append(d.prog.Stmts, program.Stmt{Op: program.OpSemijoin, Head: vName, Arg1: cur, Arg2: arg})
+		d.annots = append(d.annots, annot)
+		cur = vName
+	}
+
+	// Steps 2–16: the outer for-loop over i = 1 … n.
+	for i := 1; i <= n; i++ {
+		// Step 3: 𝓕 = { 𝐖ⱼ | 1 ≤ j < i, 𝐖ⱼ ∩ 𝐖ᵢ ⊄ 𝐕 }.
+		var f []int
+		for j := 1; j < i; j++ {
+			if !vAttrs.ContainsAll(wAttrs[j].Intersect(wAttrs[i])) {
+				f = append(f, j)
+			}
+		}
+		if vAttrs.Overlaps(wAttrs[i]) {
+			// Steps 5–6: throughout Step 5, R(V) = π_V(⋈D[𝒱ᵢ₋₁]); after
+			// Step 6, R(V) = π_V(⋈D[𝒱ᵢ]).
+			for _, j := range f {
+				emitJoinV(d.attach[w[j]], spine[i-1].Mask())
+				vAttrs = vAttrs.Union(wAttrs[j])
+			}
+			emitSemijoinV(d.attach[w[i]], spine[i].Mask())
+		} else {
+			// Steps 9–14.
+			fName := d.freshF()
+			var unionF relation.AttrSet
+			for _, j := range f {
+				unionF = unionF.Union(wAttrs[j])
+			}
+			// Step 10: R(F) := π_{(∪𝓕)∩𝐕} R(V); the proof: R(F) =
+			// π_F(⋈D[𝒱ᵢ₋₁]) throughout Steps 10–12.
+			d.prog.Stmts = append(d.prog.Stmts, program.Stmt{
+				Op: program.OpProject, Head: fName, Arg1: cur, Proj: unionF.Intersect(vAttrs),
+			})
+			d.annots = append(d.annots, spine[i-1].Mask())
+			fAttrs := unionF.Intersect(vAttrs)
+			// Step 11: join each member of 𝓕 into F.
+			for _, j := range f {
+				d.prog.Stmts = append(d.prog.Stmts, program.Stmt{
+					Op: program.OpJoin, Head: fName, Arg1: fName, Arg2: d.attach[w[j]],
+				})
+				d.annots = append(d.annots, spine[i-1].Mask())
+				fAttrs = fAttrs.Union(wAttrs[j])
+			}
+			// Step 12: R(F) := π_{(𝐕∪𝐖ᵢ)∩(∪𝓕)} R(F).
+			proj := vAttrs.Union(wAttrs[i]).Intersect(unionF)
+			d.prog.Stmts = append(d.prog.Stmts, program.Stmt{
+				Op: program.OpProject, Head: fName, Arg1: fName, Proj: proj,
+			})
+			d.annots = append(d.annots, spine[i-1].Mask())
+			fAttrs = proj
+			// Step 13: R(F) := R(F) ⋉ R(𝐖ᵢ); afterwards R(F) = π_F(⋈D[𝒱ᵢ]).
+			d.prog.Stmts = append(d.prog.Stmts, program.Stmt{
+				Op: program.OpSemijoin, Head: fName, Arg1: fName, Arg2: d.attach[w[i]],
+			})
+			d.annots = append(d.annots, spine[i].Mask())
+			// Step 14: R(V) := R(V) ⋈ R(F); R(V) = π_V(⋈D[𝒱ᵢ]).
+			emitJoinV(fName, spine[i].Mask())
+			vAttrs = vAttrs.Union(fAttrs)
+		}
+	}
+
+	// Step 17: join in every 𝐖ᵢ not already subsumed by 𝐕; throughout,
+	// R(V) = π_V(⋈D[𝒱]).
+	for i := 1; i <= n; i++ {
+		if !vAttrs.ContainsAll(wAttrs[i]) {
+			emitJoinV(d.attach[w[i]], v.Mask())
+			vAttrs = vAttrs.Union(wAttrs[i])
+		}
+	}
+
+	// Step 18: attach R(V) to 𝒱. If no statement was emitted (possible only
+	// when n = 0, i.e. 𝒱 is a leaf — handled by the caller), cur is still
+	// the alias.
+	d.attach[v] = cur
+}
+
+// DeriveFromTree composes Algorithms 1 and 2: CPFify the given (arbitrary)
+// tree, then derive a program from the result. The returned derivation's
+// program is quasi-optimal relative to t by Theorem 2.
+func DeriveFromTree(t *jointree.Tree, h *hypergraph.Hypergraph, policy ChoicePolicy) (*Derivation, error) {
+	cpf, err := CPFify(t, h, policy)
+	if err != nil {
+		return nil, err
+	}
+	return Derive(cpf, h)
+}

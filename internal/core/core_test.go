@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/program"
+	"repro/internal/relation"
+)
+
+// paperScheme is the running example's scheme {ABC, CDE, EFG, GHA}.
+func paperScheme(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		t.Fatalf("ParseScheme: %v", err)
+	}
+	return h
+}
+
+// figure1Tree is (ABC ⋈ EFG) ⋈ (CDE ⋈ GHA).
+func figure1Tree(t *testing.T, h *hypergraph.Hypergraph) *jointree.Tree {
+	t.Helper()
+	tr, err := jointree.Parse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tr
+}
+
+// figure2Tree is ((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA.
+func figure2Tree(t *testing.T, h *hypergraph.Hypergraph) *jointree.Tree {
+	t.Helper()
+	tr, err := jointree.Parse(h, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tr
+}
+
+func TestCPFifyFigure1DefaultPolicy(t *testing.T) {
+	h := paperScheme(t)
+	t1 := figure1Tree(t, h)
+	if t1.IsCPF(h) {
+		t.Fatal("Figure 1 tree should not be CPF")
+	}
+	got, err := CPFify(t1, h, nil)
+	if err != nil {
+		t.Fatalf("CPFify: %v", err)
+	}
+	if err := got.Validate(h); err != nil {
+		t.Fatalf("CPFify output invalid: %v", err)
+	}
+	if !got.IsCPF(h) {
+		t.Fatalf("CPFify output is not CPF: %s", got.String(h))
+	}
+	// FirstChoice picks ABC first, then the lowest-index connectable
+	// component at each step: CDE, then EFG, then GHA — exactly the choices
+	// Example 5 makes, yielding the Figure 2 tree.
+	want := figure2Tree(t, h)
+	if !got.Equal(want) {
+		t.Fatalf("CPFify = %s, want %s", got.String(h), want.String(h))
+	}
+}
+
+// TestEnumerateCPFificationsSixteen reproduces Example 5's count: the
+// Figure 1 tree admits exactly sixteen distinct CPF trees across all
+// nondeterministic choices, one of which is the Figure 2 tree.
+func TestEnumerateCPFificationsSixteen(t *testing.T) {
+	h := paperScheme(t)
+	t1 := figure1Tree(t, h)
+	all, err := EnumerateCPFifications(t1, h, 0)
+	if err != nil {
+		t.Fatalf("EnumerateCPFifications: %v", err)
+	}
+	if len(all) != 16 {
+		for _, tr := range all {
+			t.Logf("  %s", tr.String(h))
+		}
+		t.Fatalf("got %d CPFifications, want 16 (Example 5)", len(all))
+	}
+	want := figure2Tree(t, h)
+	found := false
+	for _, tr := range all {
+		if !tr.IsCPF(h) {
+			t.Errorf("non-CPF tree in enumeration: %s", tr.String(h))
+		}
+		if err := tr.Validate(h); err != nil {
+			t.Errorf("invalid tree in enumeration: %v", err)
+		}
+		if tr.Equal(want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Figure 2 tree missing from the enumeration")
+	}
+}
+
+// TestDeriveExample6Golden checks that Algorithm 2 applied to the Figure 2
+// tree emits exactly the ten statements listed in Example 6, in order.
+func TestDeriveExample6Golden(t *testing.T) {
+	h := paperScheme(t)
+	t2 := figure2Tree(t, h)
+	d, err := Derive(t2, h)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	want := strings.TrimSpace(`
+R(V) := R(ABC) ⋉ R(CDE)
+R(F) := π_C R(V)
+R(F) := R(F) ⋈ R(CDE)
+R(F) := π_CE R(F)
+R(F) := R(F) ⋉ R(EFG)
+R(V) := R(V) ⋈ R(F)
+R(V) := R(V) ⋈ R(EFG)
+R(V) := R(V) ⋉ R(GHA)
+R(V) := R(V) ⋈ R(CDE)
+R(V) := R(V) ⋈ R(GHA)
+`)
+	if got := d.Program.String(); got != want {
+		t.Errorf("derived program:\n%s\nwant:\n%s", got, want)
+	}
+	if d.Program.Len() >= d.QuasiFactor {
+		t.Errorf("Claim C violated: %d statements, bound %d", d.Program.Len(), d.QuasiFactor)
+	}
+	if d.QuasiFactor != QuasiFactor(4, 8) {
+		t.Errorf("QuasiFactor = %d, want %d", d.QuasiFactor, QuasiFactor(4, 8))
+	}
+}
+
+// smallCycleDB builds a small database over the paper's scheme with the
+// Example-3 structure: link attributes increment modulo m around the cycle,
+// plus one distinguished closing tuple, so ⋈D has exactly one tuple.
+func smallCycleDB(t *testing.T, m, p int64) *relation.Database {
+	t.Helper()
+	const bottom = int64(-1)
+	mk := func(scheme string) *relation.Relation {
+		return relation.New(relation.SchemaOfRunes(scheme))
+	}
+	r1, r2, r3, r4 := mk("ABC"), mk("CDE"), mk("EFG"), mk("GHA")
+	for link := int64(0); link < m; link++ {
+		next := (link + 1) % m
+		for pay := int64(0); pay < p; pay++ {
+			r1.MustInsert(relation.Ints(link, pay, next)) // A, B, C
+			r2.MustInsert(relation.Ints(link, pay, next)) // C, D, E
+			r3.MustInsert(relation.Ints(link, pay, next)) // E, F, G
+			r4.MustInsert(relation.Ints(link, pay, next)) // G, H, A
+		}
+	}
+	r1.MustInsert(relation.Ints(bottom, 0, bottom))
+	r2.MustInsert(relation.Ints(bottom, 0, bottom))
+	r3.MustInsert(relation.Ints(bottom, 0, bottom))
+	r4.MustInsert(relation.Ints(bottom, 0, bottom))
+	return relation.MustDatabase(r1, r2, r3, r4)
+}
+
+// TestTheorem1PaperExample runs the Example 6 program on an Example-3-style
+// database and checks it computes ⋈D.
+func TestTheorem1PaperExample(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 4)
+	want := db.Join()
+	if want.Len() != 1 {
+		t.Fatalf("cycle database join has %d tuples, want 1", want.Len())
+	}
+	d, err := Derive(figure2Tree(t, h), h)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Output.Equal(want) {
+		t.Errorf("program output != ⋈D:\n%s\nvs\n%s", res.Output, want)
+	}
+}
+
+// TestTheorem2PaperExample checks the quasi-optimality bound on the paper's
+// running example: deriving from the Figure 1 tree (the optimal one for the
+// Example-3 data) yields a program whose cost is below r(a+5)·cost(T1(D)).
+func TestTheorem2PaperExample(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 6)
+	t1 := figure1Tree(t, h)
+	t1Cost := t1.Cost(db)
+	d, err := DeriveFromTree(t1, h, nil)
+	if err != nil {
+		t.Fatalf("DeriveFromTree: %v", err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	bound := d.QuasiFactor * t1Cost
+	if res.Cost >= bound {
+		t.Errorf("cost(P(D)) = %d, want < r(a+5)·cost(T1(D)) = %d", res.Cost, bound)
+	}
+	if !res.Output.Equal(db.Join()) {
+		t.Error("derived program output != ⋈D")
+	}
+}
+
+// randomConnectedScheme generates a random connected scheme with r relations
+// over attributes "A".."Z"-style names.
+func randomConnectedScheme(rng *rand.Rand, r, attrs, maxArity int) *hypergraph.Hypergraph {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	for {
+		edges := make([]relation.AttrSet, r)
+		for i := range edges {
+			arity := 1 + rng.Intn(maxArity)
+			picks := make([]string, arity)
+			for j := range picks {
+				picks[j] = names[rng.Intn(attrs)]
+			}
+			edges[i] = relation.NewAttrSet(picks...)
+		}
+		h, err := hypergraph.New(edges)
+		if err != nil {
+			continue
+		}
+		if h.Connected(h.Full()) {
+			return h
+		}
+	}
+}
+
+// randomDatabase fills each relation of the scheme with size random tuples
+// over a small integer domain (small domain forces plenty of join matches).
+func randomDatabase(rng *rand.Rand, h *hypergraph.Hypergraph, size, domain int) *relation.Database {
+	rels := make([]*relation.Relation, h.Len())
+	for i := 0; i < h.Len(); i++ {
+		schema := relation.MustSchema(h.Edge(i)...)
+		rel := relation.New(schema)
+		for k := 0; k < size; k++ {
+			row := make(relation.Tuple, schema.Len())
+			for c := range row {
+				row[c] = relation.Int(int64(rng.Intn(domain)))
+			}
+			rel.MustInsert(row)
+		}
+		rels[i] = rel
+	}
+	return relation.MustDatabase(rels...)
+}
+
+// randomTree builds a random join expression tree exactly over the scheme.
+func randomTree(rng *rand.Rand, n int) *jointree.Tree {
+	nodes := make([]*jointree.Tree, n)
+	for i := range nodes {
+		nodes[i] = jointree.NewLeaf(i)
+	}
+	for len(nodes) > 1 {
+		i := rng.Intn(len(nodes))
+		a := nodes[i]
+		nodes = append(nodes[:i], nodes[i+1:]...)
+		j := rng.Intn(len(nodes))
+		b := nodes[j]
+		nodes[j] = jointree.NewJoin(a, b)
+	}
+	return nodes[0]
+}
+
+// TestTheorem1Randomized property-tests Theorem 1: for random connected
+// schemes, random databases, and random (arbitrary) trees, the program
+// derived via Algorithm 1 + Algorithm 2 computes ⋈D.
+func TestTheorem1Randomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		r := 2 + rng.Intn(5)
+		h := randomConnectedScheme(rng, r, 3+rng.Intn(4), 3)
+		db := randomDatabase(rng, h, 1+rng.Intn(12), 3)
+		tr := randomTree(rng, r)
+		want := db.Join()
+
+		d, err := DeriveFromTree(tr, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatalf("trial %d: DeriveFromTree(%s over %s): %v", trial, tr.String(h), h, err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v\nprogram:\n%s", trial, err, d.Program)
+		}
+		if !res.Output.Equal(want) {
+			t.Fatalf("trial %d: program output != ⋈D\nscheme %s\ntree %s\nprogram:\n%s\ngot %s\nwant %s",
+				trial, h, tr.String(h), d.Program, res.Output, want)
+		}
+		if d.Program.Len() >= d.QuasiFactor {
+			t.Errorf("trial %d: Claim C violated: %d statements ≥ bound %d", trial, d.Program.Len(), d.QuasiFactor)
+		}
+	}
+}
+
+// TestTheorem1ArbitraryCPFTrees property-tests Theorem 1 on CPF trees that
+// did NOT come from Algorithm 1: Algorithm 2 must still be correct.
+func TestTheorem1ArbitraryCPFTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		r := 2 + rng.Intn(4)
+		h := randomConnectedScheme(rng, r, 3+rng.Intn(3), 3)
+		trees, err := jointree.AllCPFTrees(h)
+		if err != nil || len(trees) == 0 {
+			continue
+		}
+		db := randomDatabase(rng, h, 1+rng.Intn(10), 3)
+		want := db.Join()
+		tr := trees[rng.Intn(len(trees))]
+		d, err := Derive(tr, h)
+		if err != nil {
+			t.Fatalf("trial %d: Derive(%s over %s): %v", trial, tr.String(h), h, err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v\nprogram:\n%s", trial, err, d.Program)
+		}
+		if !res.Output.Equal(want) {
+			t.Fatalf("trial %d: program output != ⋈D\nscheme %s\ntree %s\nprogram:\n%s",
+				trial, h, tr.String(h), d.Program)
+		}
+	}
+}
+
+// TestTheorem2Randomized property-tests the Theorem 2 bound on nonempty
+// joins: cost(P(D)) < r(a+5) · cost(T1(D)).
+func TestTheorem2Randomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tested := 0
+	for trial := 0; trial < 120 && tested < 50; trial++ {
+		r := 2 + rng.Intn(5)
+		h := randomConnectedScheme(rng, r, 3+rng.Intn(4), 3)
+		db := randomDatabase(rng, h, 2+rng.Intn(10), 2)
+		if db.Join().IsEmpty() {
+			continue // Theorem 2 assumes ⋈D ≠ ∅
+		}
+		tested++
+		tr := randomTree(rng, r)
+		t1Cost := tr.Cost(db)
+		d, err := DeriveFromTree(tr, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatalf("trial %d: DeriveFromTree: %v", trial, err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v", trial, err)
+		}
+		if res.Cost >= d.QuasiFactor*t1Cost {
+			t.Errorf("trial %d: cost(P(D)) = %d ≥ r(a+5)·cost(T1(D)) = %d·%d\nscheme %s\ntree %s\nprogram:\n%s",
+				trial, res.Cost, d.QuasiFactor, t1Cost, h, tr.String(h), d.Program)
+		}
+	}
+	if tested < 10 {
+		t.Fatalf("only %d nonempty-join trials; generator too sparse", tested)
+	}
+}
+
+// TestDeriveSingleRelation covers the degenerate scheme with one relation:
+// the program is empty and the output is the input itself.
+func TestDeriveSingleRelation(t *testing.T) {
+	h := hypergraph.Must([]relation.AttrSet{relation.AttrSetOfRunes("AB")})
+	tr := jointree.NewLeaf(0)
+	d, err := Derive(tr, h)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if d.Program.Len() != 0 {
+		t.Errorf("program has %d statements, want 0", d.Program.Len())
+	}
+	rel := relation.New(relation.SchemaOfRunes("AB"))
+	rel.MustInsert(relation.Ints(1, 2))
+	db := relation.MustDatabase(rel)
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Output.Equal(rel) {
+		t.Error("output != input for single-relation scheme")
+	}
+	if res.Cost != 1 {
+		t.Errorf("cost = %d, want 1", res.Cost)
+	}
+}
+
+// TestDeriveRejectsNonCPF checks Algorithm 2 refuses non-CPF input.
+func TestDeriveRejectsNonCPF(t *testing.T) {
+	h := paperScheme(t)
+	if _, err := Derive(figure1Tree(t, h), h); err == nil {
+		t.Fatal("Derive accepted a non-CPF tree")
+	}
+}
+
+// TestCPFifyRejectsDisconnected checks Algorithm 1 refuses disconnected
+// schemes.
+func TestCPFifyRejectsDisconnected(t *testing.T) {
+	h := hypergraph.Must([]relation.AttrSet{
+		relation.AttrSetOfRunes("AB"),
+		relation.AttrSetOfRunes("CD"),
+	})
+	tr := jointree.NewJoin(jointree.NewLeaf(0), jointree.NewLeaf(1))
+	if _, err := CPFify(tr, h, nil); err == nil {
+		t.Fatal("CPFify accepted a disconnected scheme")
+	}
+}
+
+// TestCPFifyIdempotentOnCPF checks that a CPF tree passes through CPFify as
+// a CPF tree of the same cost structure (the algorithm may restructure, but
+// the result must remain CPF and exactly over the scheme).
+func TestCPFifyIdempotentOnCPF(t *testing.T) {
+	h := paperScheme(t)
+	t2 := figure2Tree(t, h)
+	got, err := CPFify(t2, h, nil)
+	if err != nil {
+		t.Fatalf("CPFify: %v", err)
+	}
+	if !got.IsCPF(h) {
+		t.Fatal("output not CPF")
+	}
+	if err := got.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDerivedProgramValidates checks the derived program passes the IR
+// validator for a variety of CPF trees.
+func TestDerivedProgramValidates(t *testing.T) {
+	h := paperScheme(t)
+	trees, err := jointree.AllCPFTrees(h)
+	if err != nil {
+		t.Fatalf("AllCPFTrees: %v", err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no CPF trees over the paper scheme")
+	}
+	for _, tr := range trees {
+		d, err := Derive(tr, h)
+		if err != nil {
+			t.Fatalf("Derive(%s): %v", tr.String(h), err)
+		}
+		if err := d.Program.Validate(); err != nil {
+			t.Errorf("Derive(%s): invalid program: %v", tr.String(h), err)
+		}
+	}
+}
+
+// TestAllCPFDerivationsCorrect runs every CPF tree over the paper scheme
+// through Algorithm 2 and checks correctness on the cycle database.
+func TestAllCPFDerivationsCorrect(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 3)
+	want := db.Join()
+	trees, err := jointree.AllCPFTrees(h)
+	if err != nil {
+		t.Fatalf("AllCPFTrees: %v", err)
+	}
+	for _, tr := range trees {
+		d, err := Derive(tr, h)
+		if err != nil {
+			t.Fatalf("Derive(%s): %v", tr.String(h), err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", tr.String(h), err)
+		}
+		if !res.Output.Equal(want) {
+			t.Errorf("Derive(%s): wrong output", tr.String(h))
+		}
+	}
+}
+
+// TestProgramOnEmptyJoin: Theorem 1 makes no ⋈D ≠ ∅ assumption; the program
+// must compute the empty join correctly.
+func TestProgramOnEmptyJoin(t *testing.T) {
+	h := paperScheme(t)
+	// Build a database whose cycle never closes: links increment mod 3 with
+	// no closing tuple.
+	mk := func(scheme string) *relation.Relation {
+		return relation.New(relation.SchemaOfRunes(scheme))
+	}
+	r1, r2, r3, r4 := mk("ABC"), mk("CDE"), mk("EFG"), mk("GHA")
+	for link := int64(0); link < 3; link++ {
+		next := (link + 1) % 3
+		r1.MustInsert(relation.Ints(link, 0, next))
+		r2.MustInsert(relation.Ints(link, 0, next))
+		r3.MustInsert(relation.Ints(link, 0, next))
+		r4.MustInsert(relation.Ints(link, 0, next))
+	}
+	db := relation.MustDatabase(r1, r2, r3, r4)
+	if !db.Join().IsEmpty() {
+		t.Fatal("expected empty join")
+	}
+	d, err := Derive(figure2Tree(t, h), h)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Output.IsEmpty() {
+		t.Errorf("program output has %d tuples, want 0", res.Output.Len())
+	}
+}
+
+// TestEnumerateMatchesSingleRuns: every tree produced by CPFify under any
+// random policy must be in the exhaustive enumeration.
+func TestEnumerateMatchesSingleRuns(t *testing.T) {
+	h := paperScheme(t)
+	t1 := figure1Tree(t, h)
+	all, err := EnumerateCPFifications(t1, h, 0)
+	if err != nil {
+		t.Fatalf("EnumerateCPFifications: %v", err)
+	}
+	keys := make(map[string]bool, len(all))
+	for _, tr := range all {
+		keys[tr.Canon()] = true
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		got, err := CPFify(t1, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatalf("CPFify: %v", err)
+		}
+		if !keys[got.Canon()] {
+			t.Errorf("random CPFify produced a tree outside the enumeration: %s", got.String(h))
+		}
+	}
+}
+
+// TestDerivationStatementKinds sanity-checks the derived statements only use
+// the three operators and that semijoins only ever reduce (never enlarge)
+// the head, by running the Example 6 program and checking the trace.
+func TestDerivationStatementKinds(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 4)
+	d, err := Derive(figure2Tree(t, h), h)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for _, step := range res.Trace {
+		switch step.Stmt.Op {
+		case program.OpProject, program.OpJoin, program.OpSemijoin:
+		default:
+			t.Errorf("unexpected operator in %s", step.Stmt)
+		}
+	}
+}
+
+// TestChoicePolicies exercises the two built-in policies directly.
+func TestChoicePolicies(t *testing.T) {
+	masks := []hypergraph.Mask{hypergraph.MaskOf(2), hypergraph.MaskOf(0), hypergraph.MaskOf(1)}
+	fc := FirstChoice{}
+	if got := fc.PickInitial(masks); got != 1 {
+		t.Errorf("FirstChoice.PickInitial = %d, want 1 (lowest mask)", got)
+	}
+	if got := fc.PickNext(hypergraph.MaskOf(0), masks); got != 1 {
+		t.Errorf("FirstChoice.PickNext = %d, want 1", got)
+	}
+	rc := RandomChoice{Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 20; i++ {
+		if got := rc.PickInitial(masks); got < 0 || got >= len(masks) {
+			t.Fatalf("RandomChoice.PickInitial out of range: %d", got)
+		}
+		if got := rc.PickNext(hypergraph.MaskOf(0), masks); got < 0 || got >= len(masks) {
+			t.Fatalf("RandomChoice.PickNext out of range: %d", got)
+		}
+	}
+}
+
+// TestCPFifyDeterministicWithFirstChoice: the default policy makes CPFify a
+// pure function.
+func TestCPFifyDeterministicWithFirstChoice(t *testing.T) {
+	h := paperScheme(t)
+	t1 := figure1Tree(t, h)
+	a, err := CPFify(t1, h, FirstChoice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := CPFify(t1, h, FirstChoice{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatal("FirstChoice CPFify not deterministic")
+		}
+	}
+}

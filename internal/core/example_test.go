@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/workload"
+)
+
+// ExampleCPFify runs Algorithm 1 on the paper's Figure 1 tree.
+func ExampleCPFify() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := jointree.MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	t2, err := core.CPFify(t1, h, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2.String(h))
+	// Output:
+	// ((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA
+}
+
+// ExampleDerive reproduces the paper's Example 6 program.
+func ExampleDerive() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2 := jointree.MustParse(h, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+	d, err := core.Derive(t2, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Program)
+	// Output:
+	// R(V) := R(ABC) ⋉ R(CDE)
+	// R(F) := π_C R(V)
+	// R(F) := R(F) ⋈ R(CDE)
+	// R(F) := π_CE R(F)
+	// R(F) := R(F) ⋉ R(EFG)
+	// R(V) := R(V) ⋈ R(F)
+	// R(V) := R(V) ⋈ R(EFG)
+	// R(V) := R(V) ⋉ R(GHA)
+	// R(V) := R(V) ⋈ R(CDE)
+	// R(V) := R(V) ⋈ R(GHA)
+}
+
+// ExampleDeriveFromTree shows the end-to-end quasi-optimality pipeline on
+// the Example 3 family.
+func ExampleDeriveFromTree() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := workload.Example3(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal := jointree.MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	d, err := core.DeriveFromTree(optimal, h, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal expression cost: %d\n", optimal.Cost(db))
+	fmt.Printf("derived program cost:    %d\n", res.Cost)
+	fmt.Printf("|⋈D| = %d, bound factor r(a+5) = %d\n", res.Output.Len(), d.QuasiFactor)
+	// Output:
+	// optimal expression cost: 22427
+	// derived program cost:    8330
+	// |⋈D| = 1, bound factor r(a+5) = 52
+}
+
+// ExampleEnumerateCPFifications counts Example 5's sixteen trees.
+func ExampleEnumerateCPFifications() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := jointree.MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	all, err := core.EnumerateCPFifications(t1, h, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(all), "distinct CPF trees")
+	// Output:
+	// 16 distinct CPF trees
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/jointree"
+	"repro/internal/relation"
+)
+
+// TestVerifyInvariantsExample6 checks every statement of the paper's
+// Example 6 program against the Theorem 1 proof's intermediate claims.
+func TestVerifyInvariantsExample6(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 3)
+	d, err := Derive(figure2Tree(t, h), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := VerifyInvariants(d, db)
+	if err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	if checked != 10 {
+		t.Errorf("checked %d statements, want 10", checked)
+	}
+}
+
+// TestVerifyInvariantsRandomized validates the proof claims across random
+// schemes, databases, trees, and Algorithm 1 choices.
+func TestVerifyInvariantsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 40; trial++ {
+		h := randomConnectedScheme(rng, 2+rng.Intn(4), 3+rng.Intn(4), 3)
+		db := randomDatabase(rng, h, 1+rng.Intn(8), 3)
+		tr := randomTree(rng, h.Len())
+		d, err := DeriveFromTree(tr, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyInvariants(d, db); err != nil {
+			t.Fatalf("trial %d: %v\nscheme %s\ntree %s\nprogram:\n%s",
+				trial, err, h, tr.String(h), d.Program)
+		}
+	}
+}
+
+// TestVerifyInvariantsArbitraryCPF: the proof claims hold for any CPF tree,
+// not only Algorithm 1 outputs.
+func TestVerifyInvariantsArbitraryCPF(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 2)
+	trees := []string{
+		"(ABC ⋈ CDE) ⋈ (EFG ⋈ GHA)",
+		"GHA ⋈ ((ABC ⋈ CDE) ⋈ EFG)",
+		"(GHA ⋈ (EFG ⋈ (CDE ⋈ ABC)))",
+	}
+	for _, expr := range trees {
+		d, err := Derive(jointree.MustParse(h, expr), h)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if _, err := VerifyInvariants(d, db); err != nil {
+			t.Errorf("%s: %v", expr, err)
+		}
+	}
+}
+
+// TestVerifyInvariantsAnnotationCount: every derived statement carries an
+// annotation.
+func TestVerifyInvariantsAnnotationCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 30; trial++ {
+		h := randomConnectedScheme(rng, 2+rng.Intn(5), 3+rng.Intn(4), 3)
+		tr := randomTree(rng, h.Len())
+		d, err := DeriveFromTree(tr, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Annotations) != d.Program.Len() {
+			t.Fatalf("trial %d: %d annotations for %d statements", trial, len(d.Annotations), d.Program.Len())
+		}
+	}
+}
+
+// TestClaimABHeadBounds checks the mechanism behind Theorem 2 (Claims A and
+// B): every statement head of a program derived via Algorithm 1 from a tree
+// T1 has at most as many tuples as some node of T1 — i.e. max head size ≤
+// max node size of T1(D). Combined with Claim C's statement count, this is
+// exactly how the paper assembles the r(a+5) factor.
+func TestClaimABHeadBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 40; trial++ {
+		h := randomConnectedScheme(rng, 2+rng.Intn(5), 3+rng.Intn(4), 3)
+		db := randomDatabase(rng, h, 2+rng.Intn(10), 2)
+		if db.Join().IsEmpty() {
+			continue // Claims A/B assume ⋈D ≠ ∅
+		}
+		t1 := randomTree(rng, h.Len())
+		d, err := DeriveFromTree(t1, h, RandomChoice{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Largest node size anywhere in T1(D).
+		maxNode := 0
+		var walk func(n *jointree.Tree) *relation.Relation
+		walk = func(n *jointree.Tree) *relation.Relation {
+			if n.IsLeaf() {
+				r := db.Relation(n.Leaf)
+				if r.Len() > maxNode {
+					maxNode = r.Len()
+				}
+				return r
+			}
+			out := relation.Join(walk(n.Left), walk(n.Right))
+			if out.Len() > maxNode {
+				maxNode = out.Len()
+			}
+			return out
+		}
+		walk(t1)
+		for k, step := range res.Trace {
+			if step.Size > maxNode {
+				t.Fatalf("trial %d: statement %d head has %d tuples > max T1 node %d\nscheme %s\nT1 %s\nprogram:\n%s",
+					trial, k+1, step.Size, maxNode, h, t1.String(h), d.Program)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/program"
+	"repro/internal/relation"
+)
+
+// DeriveProjection extends Algorithm 2 to project-join queries in the sense
+// of Yannakakis [13], which the paper cites as the acyclic-case antecedent:
+// given a CPF tree over a connected scheme and an output attribute set out,
+// it derives a program computing π_out(⋈D). The derived join program is
+// followed by a single projection statement; Theorem 1 gives correctness
+// and the projection adds at most |⋈D| tuples to the Theorem 2 cost, so the
+// r(a+5) quasi-optimality factor grows by at most 1 (we report r(a+6)).
+//
+// out must be a subset of the scheme's attributes; the empty set yields the
+// 0-ary boolean query "is ⋈D nonempty".
+func DeriveProjection(t *jointree.Tree, h *hypergraph.Hypergraph, out relation.AttrSet) (*Derivation, error) {
+	if !h.Attrs().ContainsAll(out) {
+		return nil, fmt.Errorf("core: projection attributes %s not all in scheme %s", out, h)
+	}
+	d, err := Derive(t, h)
+	if err != nil {
+		return nil, err
+	}
+	if out.Equal(h.Attrs()) {
+		return d, nil // projecting onto everything is the identity
+	}
+	p := d.Program
+	head := "P"
+	for taken := map[string]bool{}; ; {
+		for _, in := range p.Inputs {
+			taken[in] = true
+		}
+		for _, s := range p.Stmts {
+			taken[s.Head] = true
+		}
+		if !taken[head] {
+			break
+		}
+		head += "'"
+	}
+	p.Stmts = append(p.Stmts, program.Stmt{Op: program.OpProject, Head: head, Arg1: p.Output, Proj: out})
+	p.Output = head
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: projected program fails validation: %v", err)
+	}
+	d.QuasiFactor = QuasiFactor(h.Len(), h.Attrs().Len()+1)
+	return d, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestDeriveProjectionPaperScheme(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 4)
+	out := relation.AttrSetOfRunes("BH")
+	d, err := DeriveProjection(figure2Tree(t, h), h, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustProject(db.Join(), out)
+	if !res.Output.Equal(want) {
+		t.Errorf("π_%s(⋈D) wrong: got %s want %s", out, res.Output, want)
+	}
+}
+
+func TestDeriveProjectionFullIsIdentity(t *testing.T) {
+	h := paperScheme(t)
+	d, err := DeriveProjection(figure2Tree(t, h), h, h.Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Program.Len() != 10 {
+		t.Errorf("full projection added statements: %d", d.Program.Len())
+	}
+}
+
+func TestDeriveProjectionEmptyIsBoolean(t *testing.T) {
+	h := paperScheme(t)
+	db := smallCycleDB(t, 3, 2)
+	d, err := DeriveProjection(figure2Tree(t, h), h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Program.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Len() != 1 || res.Output.Schema().Len() != 0 {
+		t.Errorf("boolean query = %d tuples over %d attrs, want 1 over 0", res.Output.Len(), res.Output.Schema().Len())
+	}
+}
+
+func TestDeriveProjectionRejectsUnknownAttrs(t *testing.T) {
+	h := paperScheme(t)
+	if _, err := DeriveProjection(figure2Tree(t, h), h, relation.NewAttrSet("Z")); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestDeriveProjectionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		h := randomConnectedScheme(rng, 2+rng.Intn(4), 3+rng.Intn(3), 3)
+		db := randomDatabase(rng, h, 1+rng.Intn(10), 3)
+		tr := randomTree(rng, h.Len())
+		cpf, err := CPFify(tr, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out relation.AttrSet
+		for _, a := range h.Attrs() {
+			if rng.Intn(2) == 0 {
+				out = out.Union(relation.NewAttrSet(a))
+			}
+		}
+		d, err := DeriveProjection(cpf, h, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := relation.MustProject(db.Join(), out)
+		if !res.Output.Equal(want) {
+			t.Fatalf("trial %d: projection program wrong on %s over %s", trial, h, out)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func example3DB(t *testing.T, q int64) *relation.Database {
+	t.Helper()
+	spec, err := workload.Example3(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestJoinAllStrategiesAgree(t *testing.T) {
+	db := example3DB(t, 6)
+	want := db.Join()
+	for _, s := range []Strategy{
+		StrategyAuto, StrategyProgram, StrategyExpression, StrategyReduceThenJoin, StrategyDirect,
+	} {
+		rep, err := Join(db, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !rep.Result.Equal(want) {
+			t.Errorf("%s: wrong result (%d tuples)", s, rep.Result.Len())
+		}
+		if rep.Cost <= 0 {
+			t.Errorf("%s: cost not accounted", s)
+		}
+		if rep.Explain() == "" {
+			t.Errorf("%s: empty explain", s)
+		}
+	}
+}
+
+func TestAutoPicksAcyclicOnAcyclicScheme(t *testing.T) {
+	db, err := workload.DanglingChainDatabase(4, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Join(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != StrategyAcyclic {
+		t.Errorf("auto picked %s on an acyclic scheme", rep.Strategy)
+	}
+	if !rep.Result.Equal(db.Join()) {
+		t.Error("wrong result")
+	}
+}
+
+func TestAutoPicksProgramOnCyclicScheme(t *testing.T) {
+	db := example3DB(t, 6)
+	rep, err := Join(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != StrategyProgram {
+		t.Errorf("auto picked %s on a cyclic scheme", rep.Strategy)
+	}
+}
+
+func TestAcyclicStrategyRejectsCyclic(t *testing.T) {
+	db := example3DB(t, 6)
+	if _, err := Join(db, Options{Strategy: StrategyAcyclic}); err == nil {
+		t.Error("acyclic strategy accepted a cyclic scheme")
+	}
+}
+
+// TestProgramBeatsExpressionOnExample3: the engine's headline — at q = 10
+// the program route costs less than the CPF-expression route.
+func TestProgramBeatsExpressionOnExample3(t *testing.T) {
+	db := example3DB(t, 10)
+	prog, err := Join(db, Options{Strategy: StrategyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := Join(db, Options{Strategy: StrategyExpression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Cost >= expr.Cost {
+		t.Errorf("program (%d) should beat CPF expression (%d) at q=10", prog.Cost, expr.Cost)
+	}
+}
+
+// TestReduceThenJoinWastedOnExample3: pairwise reduction removes nothing on
+// the pairwise-consistent family, so the strategy pays the reduction for
+// free and cannot beat plain expression evaluation.
+func TestReduceThenJoinWastedOnExample3(t *testing.T) {
+	db := example3DB(t, 6)
+	red, err := Join(db, Options{Strategy: StrategyReduceThenJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := Join(db, Options{Strategy: StrategyExpression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cost <= expr.Cost {
+		t.Errorf("reduce-then-join (%d) should cost more than expression (%d) on pairwise-consistent data",
+			red.Cost, expr.Cost)
+	}
+	found := false
+	for _, n := range red.Notes {
+		if strings.Contains(n, ", 0 tuples removed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a zero-removal note, got %v", red.Notes)
+	}
+}
+
+// TestReduceThenJoinHelpsOnDanglingData: with dangling tuples the reduction
+// pays for itself against direct expression evaluation of the raw database.
+func TestReduceThenJoinHelpsOnDanglingData(t *testing.T) {
+	db, err := workload.DanglingChainDatabase(5, 14, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Join(db, Options{Strategy: StrategyReduceThenJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Result.Equal(db.Join()) {
+		t.Fatal("wrong result")
+	}
+	for _, n := range red.Notes {
+		if strings.Contains(n, ", 0 tuples removed") {
+			t.Errorf("reduction removed nothing on dangling data: %v", red.Notes)
+		}
+	}
+}
+
+func TestPairwiseReduce(t *testing.T) {
+	db, err := workload.DanglingChainDatabase(4, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := PairwiseReduce(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Removed == 0 {
+		t.Error("no tuples removed from dangling data")
+	}
+	if !red.Database.Join().Equal(db.Join()) {
+		t.Error("reduction changed the join")
+	}
+	if !red.Database.PairwiseConsistent() {
+		t.Error("fixpoint not pairwise consistent")
+	}
+	// Inputs untouched.
+	if db.Relation(0).Len() != 11+6 {
+		t.Error("PairwiseReduce mutated its input")
+	}
+	// Round limit respected.
+	one, err := PairwiseReduce(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Rounds != 1 {
+		t.Errorf("rounds = %d with limit 1", one.Rounds)
+	}
+}
+
+func TestPairwiseReduceFixpointOnConsistent(t *testing.T) {
+	db := example3DB(t, 6)
+	red, err := PairwiseReduce(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Removed != 0 {
+		t.Errorf("removed %d tuples from a pairwise-consistent database", red.Removed)
+	}
+	if red.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (immediate fixpoint)", red.Rounds)
+	}
+}
+
+func TestJoinRandomizedAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 2 + rng.Intn(4), Attrs: 5, MaxArity: 3, Connected: rng.Intn(2) == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(12), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Join()
+		for _, s := range []Strategy{StrategyAuto, StrategyProgram, StrategyExpression, StrategyDirect} {
+			rep, err := Join(db, Options{Strategy: s})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s, err)
+			}
+			if !rep.Result.Equal(want) {
+				t.Fatalf("trial %d %s: wrong result on %s", trial, s, h)
+			}
+		}
+	}
+}
+
+func TestJoinEmptyDatabase(t *testing.T) {
+	if _, err := Join(nil, Options{}); err == nil {
+		t.Error("nil database accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		StrategyAuto:           "auto",
+		StrategyProgram:        "program",
+		StrategyExpression:     "cpf-expression",
+		StrategyReduceThenJoin: "reduce-then-join",
+		StrategyAcyclic:        "acyclic",
+		StrategyDirect:         "direct",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestExplainMentionsPlan(t *testing.T) {
+	db := example3DB(t, 6)
+	rep, err := Join(db, Options{Strategy: StrategyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := rep.Explain()
+	for _, want := range []string{"strategy: program", "source expression:", "R(", "Theorem 2"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("Explain missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+func TestIndexedExecutionOptionAgrees(t *testing.T) {
+	db := example3DB(t, 10)
+	plain, err := Join(db, Options{Strategy: StrategyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := Join(db, Options{Strategy: StrategyProgram, IndexedExecution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Result.Equal(indexed.Result) || plain.Cost != indexed.Cost {
+		t.Errorf("indexed execution changed result or cost: %d vs %d", plain.Cost, indexed.Cost)
+	}
+}
+
+func TestJoinTinyBudgetFails(t *testing.T) {
+	// With a 1-tuple optimizer budget every catalog materialization fails;
+	// the exact DP and the greedy fallback both error, and Join surfaces
+	// it rather than returning a wrong answer.
+	db := example3DB(t, 6)
+	if _, err := Join(db, Options{Strategy: StrategyProgram, Budget: 1}); err == nil {
+		t.Error("tiny budget silently succeeded")
+	}
+	if _, err := Join(db, Options{Strategy: StrategyExpression, Budget: 1}); err == nil {
+		t.Error("tiny budget silently succeeded for expressions")
+	}
+}
+
+func TestJoinDisconnectedAcyclicScheme(t *testing.T) {
+	// Two disjoint binary relations: the scheme is acyclic but
+	// disconnected; auto takes the acyclic route, whose monotone tree
+	// crosses the components.
+	r1 := relation.New(relation.SchemaOfRunes("AB"))
+	r1.MustInsert(relation.Ints(1, 2))
+	r1.MustInsert(relation.Ints(3, 4))
+	r2 := relation.New(relation.SchemaOfRunes("CD"))
+	r2.MustInsert(relation.Ints(5, 6))
+	db := relation.MustDatabase(r1, r2)
+	rep, err := Join(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Equal(db.Join()) {
+		t.Error("disconnected acyclic join wrong")
+	}
+	if rep.Result.Len() != 2 {
+		t.Errorf("product size = %d, want 2", rep.Result.Len())
+	}
+	// The program strategy falls back gracefully on disconnected schemes.
+	prog, err := Join(db, Options{Strategy: StrategyProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Result.Equal(db.Join()) {
+		t.Error("program fallback wrong on disconnected scheme")
+	}
+}

@@ -1,0 +1,75 @@
+// Package engine is the user-facing facade: given a database, it picks (or
+// is told) a strategy — the classical acyclic pipeline, direct evaluation of
+// an optimized join expression, or the paper's derive-a-program route — runs
+// it, and returns the result with cost accounting and an EXPLAIN-style
+// report.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// PairwiseReduction is the natural generalization of a full reducer to
+// cyclic schemes: repeatedly semijoin every relation with every neighbour
+// until no relation shrinks (or maxRounds passes complete). On acyclic
+// schemes this reaches the full reducer's fixpoint (global consistency); on
+// cyclic schemes it reaches local (pairwise) consistency only — the paper's
+// Example 3 is built so that this fixpoint removes nothing while ⋈D is
+// nearly empty.
+type PairwiseReduction struct {
+	// Database is the reduced database (inputs are never mutated).
+	Database *relation.Database
+	// Cost counts every semijoin head produced, per the §2.3 model
+	// (the original inputs are not counted here; callers add them once).
+	Cost int
+	// Rounds is the number of full passes executed, including the final
+	// pass that found a fixpoint.
+	Rounds int
+	// Removed is the total number of tuples eliminated.
+	Removed int
+}
+
+// PairwiseReduce runs the reduction. maxRounds ≤ 0 means no limit (the
+// reduction always terminates: relation sizes strictly decrease between
+// rounds).
+func PairwiseReduce(db *relation.Database, maxRounds int) (*PairwiseReduction, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("engine: empty database")
+	}
+	rels := make([]*relation.Relation, db.Len())
+	copy(rels, db.Relations())
+
+	out := &PairwiseReduction{}
+	for {
+		out.Rounds++
+		changed := false
+		for i := range rels {
+			for j := range rels {
+				if i == j {
+					continue
+				}
+				if !rels[i].Schema().AttrSet().Overlaps(rels[j].Schema().AttrSet()) {
+					continue
+				}
+				reduced := relation.Semijoin(rels[i], rels[j])
+				out.Cost += reduced.Len()
+				if reduced.Len() < rels[i].Len() {
+					changed = true
+					rels[i] = reduced
+				}
+			}
+		}
+		if !changed || (maxRounds > 0 && out.Rounds >= maxRounds) {
+			break
+		}
+	}
+	reducedDB, err := relation.NewDatabase(rels...)
+	if err != nil {
+		return nil, err
+	}
+	out.Database = reducedDB
+	out.Removed = db.TotalTuples() - reducedDB.TotalTuples()
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// EstimatorAccuracy (experiment EX4) measures join-size estimation error on
+// uniform and Zipf-skewed data for the two estimators the optimizer carries:
+// the System-R independence/uniformity estimate and equi-depth histograms.
+// Error is the max of est/truth and truth/est (1.00 = exact). This is the
+// optimizer-quality backdrop to the paper's exact-cost framing: real
+// optimizers search with estimates, and skew is where estimates — and so
+// CPF-pruned searches — go wrong.
+func EstimatorAccuracy(seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:    "EX4",
+		Title: "Extension — join-size estimation error (×, 1.00 = exact)",
+		Columns: []string{
+			"data", "rows", "true join size", "independence est", "error", "histogram est", "error",
+		},
+	}
+	configs := []struct {
+		name string
+		gen  func(n int) []int64
+		rows int
+	}{
+		{"uniform d=100", func(n int) []int64 {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(100))
+			}
+			return vals
+		}, 3000},
+		{"zipf s=1.2", zipfGen(rng, 1.2, 199), 3000},
+		{"zipf s=1.5", zipfGen(rng, 1.5, 199), 3000},
+		{"zipf s=2.0", zipfGen(rng, 2.0, 199), 3000},
+	}
+	for _, cfg := range configs {
+		a := columnRelation(cfg.gen(cfg.rows))
+		b := columnRelation(cfg.gen(cfg.rows))
+		truth := trueMatches(a, b)
+		if truth == 0 {
+			continue
+		}
+		sa, sb := optimizer.CollectStats(a), optimizer.CollectStats(b)
+		div := sa.Distinct["x"]
+		if sb.Distinct["x"] > div {
+			div = sb.Distinct["x"]
+		}
+		ind := sa.Card * sb.Card / div
+		ha, err := optimizer.BuildHistogram(a, "x", 30)
+		if err != nil {
+			return nil, err
+		}
+		hb, err := optimizer.BuildHistogram(b, "x", 30)
+		if err != nil {
+			return nil, err
+		}
+		hist := optimizer.EstimateEquiJoin(ha, hb)
+		t.AddRow(cfg.name, cfg.rows, truth,
+			ind, fmt.Sprintf("%.2f×", errorFactor(ind, truth)),
+			hist, fmt.Sprintf("%.2f×", errorFactor(hist, truth)))
+	}
+	t.AddNote("independence assumes every value equally likely; skew concentrates mass on few values and the estimate collapses")
+	t.AddNote("equi-depth histograms keep per-bucket distinct counts, tracking the skew — why production optimizers carry them")
+	return t, nil
+}
+
+func zipfGen(rng *rand.Rand, s float64, max uint64) func(n int) []int64 {
+	z := rand.NewZipf(rng, s, 1, max)
+	return func(n int) []int64 {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(z.Uint64())
+		}
+		return vals
+	}
+}
+
+func columnRelation(vals []int64) *relation.Relation {
+	r := relation.New(relation.MustSchema("x", "rid"))
+	for i, v := range vals {
+		r.MustInsert(relation.Ints(v, int64(i)))
+	}
+	return r
+}
+
+func trueMatches(a, b *relation.Relation) int64 {
+	counts := map[int64]int64{}
+	pa, _ := a.Schema().Position("x")
+	for _, row := range a.Rows() {
+		counts[row[pa].AsInt()]++
+	}
+	pb, _ := b.Schema().Position("x")
+	var total int64
+	for _, row := range b.Rows() {
+		total += counts[row[pb].AsInt()]
+	}
+	return total
+}
+
+func errorFactor(est, truth int64) float64 {
+	if est <= 0 {
+		return float64(truth)
+	}
+	r := float64(est) / float64(truth)
+	if r < 1 {
+		return 1 / r
+	}
+	return r
+}

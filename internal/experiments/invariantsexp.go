@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/jointree"
+	"repro/internal/workload"
+)
+
+// InvariantAudit (experiment E13) validates the Theorem 1 proof's
+// intermediate claims empirically: every statement of a derived program
+// must leave its head equal to π_schema(⋈D[𝒱ᵢ]) for the proof's node subset
+// 𝒱ᵢ. The derivation annotates each statement with that subset; the audit
+// executes the program and checks every line.
+func InvariantAudit(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   "Theorem 1 proof audit — per-statement invariants of derived programs",
+		Columns: []string{"source", "programs", "statements checked", "violations"},
+	}
+
+	// The paper's Example 6 program.
+	h := PaperScheme()
+	d, err := core.Derive(Figure2Tree(h), h)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.Example3(4)
+	if err != nil {
+		return nil, err
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.VerifyInvariants(d, db)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Example 6 invariant violated: %v", err)
+	}
+	t.AddRow("Example 6 program", 1, n, 0)
+
+	rng := rand.New(rand.NewSource(seed))
+	programs, stmts := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		hg, rdb, err := randomInstance(rng, 2+rng.Intn(4), 3+rng.Intn(4), 1+rng.Intn(8), 3)
+		if err != nil {
+			return nil, err
+		}
+		tr := jointree.RandomTree(rng, hg.Len())
+		rd, err := core.DeriveFromTree(tr, hg, core.RandomChoice{Rng: rng})
+		if err != nil {
+			return nil, err
+		}
+		k, err := core.VerifyInvariants(rd, rdb)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: invariant violated on %s: %v", hg, err)
+		}
+		programs++
+		stmts += k
+	}
+	t.AddRow("random derivations", programs, stmts, 0)
+	t.AddNote("after statement k the head equals π_schema(⋈D[𝒱ᵢ]) — the claims the paper's Theorem 1 proof sketches, checked line by line")
+	return t, nil
+}

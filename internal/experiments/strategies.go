@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// StrategyComparison (experiment EX2) runs the engine's execution strategies
+// head to head on three characteristic workloads: the paper's adversarial
+// cycle (program wins; reduction useless), a dangling acyclic chain
+// (reduction wins), and a benign random cyclic instance (everything is
+// close). Cells are execution costs; "—" marks inapplicable strategies.
+func StrategyComparison(seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "EX2",
+		Title: "Extension — engine strategies head to head (execution cost)",
+		Columns: []string{
+			"workload", "direct", "cpf-expression", "reduce-then-join", "program", "acyclic", "auto picks",
+		},
+	}
+	type wl struct {
+		name string
+		db   *relation.Database
+	}
+	var workloads []wl
+
+	spec, err := workload.Example3(10)
+	if err != nil {
+		return nil, err
+	}
+	ex3, err := spec.CycleDatabase()
+	if err != nil {
+		return nil, err
+	}
+	workloads = append(workloads, wl{"Example3(q=10), cyclic adversarial", ex3})
+
+	chain, err := workload.DanglingChainDatabase(5, 30, 60)
+	if err != nil {
+		return nil, err
+	}
+	workloads = append(workloads, wl{"5-chain + dangling, acyclic", chain})
+
+	cyc, err := workload.UniformCycle(5, 3, 5).CycleDatabase()
+	if err != nil {
+		return nil, err
+	}
+	workloads = append(workloads, wl{"uniform 5-cycle, benign", cyc})
+
+	for _, w := range workloads {
+		want := w.db.Join()
+		cell := func(s engine.Strategy) string {
+			rep, err := engine.Join(w.db, engine.Options{Strategy: s})
+			if err != nil {
+				return "—"
+			}
+			if !rep.Result.Equal(want) {
+				return "WRONG"
+			}
+			return fmt.Sprint(rep.Cost)
+		}
+		auto, err := engine.Join(w.db, engine.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.name,
+			cell(engine.StrategyDirect),
+			cell(engine.StrategyExpression),
+			cell(engine.StrategyReduceThenJoin),
+			cell(engine.StrategyProgram),
+			cell(engine.StrategyAcyclic),
+			auto.Strategy.String(),
+		)
+	}
+	t.AddNote("on the adversarial cycle the program route wins by a wide margin and reduce-then-join pays its reduction for nothing (pairwise-consistent data)")
+	t.AddNote("auto picks the acyclic route on acyclic schemes and the program route on cyclic ones; on benign data all optimized routes are close")
+	t.AddNote("dangling tuples on a chain mostly fail to join rather than multiply, so plain evaluation stays competitive there — reducers shine when dangling mass would otherwise fan out")
+	_ = seed
+	return t, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Theorem1Verification (experiment E4) property-checks Theorem 1: across
+// trials random connected schemes, random databases, and random trees are
+// drawn; the program derived by Algorithms 1+2 must compute ⋈D every time.
+// Random CPF trees not produced by Algorithm 1 are also checked (Theorem 1
+// covers them).
+func Theorem1Verification(trials int, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "E4",
+		Title:   "Theorem 1 — derived programs compute ⋈D (randomized verification)",
+		Columns: []string{"source of CPF tree", "trials", "correct", "empty joins seen"},
+	}
+	viaAlg1, viaAlg1Empty := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		h, db, err := randomInstance(rng, 2+rng.Intn(5), 3+rng.Intn(4), 1+rng.Intn(12), 3)
+		if err != nil {
+			return nil, err
+		}
+		tr := jointree.RandomTree(rng, h.Len())
+		d, err := core.DeriveFromTree(tr, h, core.RandomChoice{Rng: rng})
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			return nil, err
+		}
+		want := db.Join()
+		if !res.Output.Equal(want) {
+			return nil, fmt.Errorf("experiments: Theorem 1 violated on %s, tree %s", h, tr.String(h))
+		}
+		viaAlg1++
+		if want.IsEmpty() {
+			viaAlg1Empty++
+		}
+	}
+	t.AddRow("Algorithm 1 on a random tree", trials, viaAlg1, viaAlg1Empty)
+
+	direct, directEmpty := 0, 0
+	done := 0
+	for trial := 0; done < trials && trial < trials*10; trial++ {
+		h, db, err := randomInstance(rng, 2+rng.Intn(4), 3+rng.Intn(3), 1+rng.Intn(10), 3)
+		if err != nil {
+			return nil, err
+		}
+		trees, err := jointree.AllCPFTrees(h)
+		if err != nil || len(trees) == 0 {
+			continue
+		}
+		done++
+		tr := trees[rng.Intn(len(trees))]
+		d, err := core.Derive(tr, h)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.Program.Apply(db)
+		if err != nil {
+			return nil, err
+		}
+		want := db.Join()
+		if !res.Output.Equal(want) {
+			return nil, fmt.Errorf("experiments: Theorem 1 violated on arbitrary CPF tree %s over %s", tr.String(h), h)
+		}
+		direct++
+		if want.IsEmpty() {
+			directEmpty++
+		}
+	}
+	t.AddRow("random CPF tree (not via Algorithm 1)", done, direct, directEmpty)
+	t.AddNote("Theorem 1 makes no ⋈D ≠ ∅ assumption; empty-join cases are included deliberately")
+	return t, nil
+}
+
+// Theorem2Bound (experiment E5+E6) measures the Theorem 2 ratio
+// cost(P(D)) / cost(T1(D)) and the Claim C statement count against their
+// bound r(a+5) across random instances with ⋈D ≠ ∅, grouped by scheme size.
+func Theorem2Bound(trialsPerSize int, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:    "E5/E6",
+		Title: "Theorem 2 & Claim C — cost(P)/cost(T1) and statement count vs the r(a+5) bound",
+		Columns: []string{
+			"relations", "trials", "max cost ratio", "mean cost ratio", "bound r(a+5) (min..max)",
+			"max statements", "violations",
+		},
+	}
+	for _, r := range []int{3, 4, 5, 6} {
+		var ratios []float64
+		maxStmts := 0
+		minBound, maxBound := 1<<30, 0
+		violations := 0
+		done := 0
+		for attempt := 0; done < trialsPerSize && attempt < trialsPerSize*20; attempt++ {
+			h, db, err := randomInstance(rng, r, 3+rng.Intn(4), 2+rng.Intn(10), 2)
+			if err != nil {
+				return nil, err
+			}
+			if db.Join().IsEmpty() {
+				continue // Theorem 2 assumes ⋈D ≠ ∅
+			}
+			done++
+			tr := jointree.RandomTree(rng, r)
+			t1Cost := tr.Cost(db)
+			d, err := core.DeriveFromTree(tr, h, core.RandomChoice{Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.Program.Apply(db)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(res.Cost)/float64(t1Cost))
+			if res.Cost >= d.QuasiFactor*t1Cost {
+				violations++
+			}
+			if d.Program.Len() > maxStmts {
+				maxStmts = d.Program.Len()
+			}
+			if d.Program.Len() >= d.QuasiFactor {
+				violations++
+			}
+			if d.QuasiFactor < minBound {
+				minBound = d.QuasiFactor
+			}
+			if d.QuasiFactor > maxBound {
+				maxBound = d.QuasiFactor
+			}
+		}
+		maxR, meanR := 0.0, 0.0
+		for _, x := range ratios {
+			if x > maxR {
+				maxR = x
+			}
+			meanR += x
+		}
+		if len(ratios) > 0 {
+			meanR /= float64(len(ratios))
+		}
+		t.AddRow(r, done, fmt.Sprintf("%.2f", maxR), fmt.Sprintf("%.2f", meanR),
+			fmt.Sprintf("%d..%d", minBound, maxBound), maxStmts, violations)
+	}
+	t.AddNote("Theorem 2: cost(P(D)) < r(a+5)·cost(T1(D)); Claim C: statements < r(a+5); violations must be 0")
+	t.AddNote("observed ratios stay far below the bound — r(a+5) is loose in practice")
+	return t, nil
+}
+
+// randomInstance draws a random connected scheme and database.
+func randomInstance(rng *rand.Rand, relations, attrs, size, domain int) (*hypergraph.Hypergraph, *relation.Database, error) {
+	h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+		Relations: relations, Attrs: attrs, MaxArity: 3, Connected: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := workload.RandomDatabase(rng, h, size, domain)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, db, nil
+}

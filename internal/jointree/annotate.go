@@ -1,0 +1,96 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// Annotated is a join expression tree together with the per-node results of
+// one evaluation: the relation computed at each node, its size, and whether
+// the node's join was a Cartesian product. It backs EXPLAIN-style output.
+type Annotated struct {
+	// Tree is the evaluated node.
+	Tree *Tree
+	// Relation is the node's result (the base relation at a leaf).
+	Relation *relation.Relation
+	// Size is the node's cardinality.
+	Size int
+	// Product marks an internal node whose operands shared no attributes.
+	Product bool
+	// Left and Right are the annotated children (nil at leaves).
+	Left, Right *Annotated
+	// Cost is the paper's cost of the subtree (leaves + all results).
+	Cost int
+}
+
+// EvalAnnotated evaluates the tree over db keeping every node's result and
+// size; Cost at the root equals Eval's cost.
+func (t *Tree) EvalAnnotated(db *relation.Database) *Annotated {
+	if t.IsLeaf() {
+		r := db.Relation(t.Leaf)
+		return &Annotated{Tree: t, Relation: r, Size: r.Len(), Cost: r.Len()}
+	}
+	l := t.Left.EvalAnnotated(db)
+	r := t.Right.EvalAnnotated(db)
+	out := relation.Join(l.Relation, r.Relation)
+	return &Annotated{
+		Tree:     t,
+		Relation: out,
+		Size:     out.Len(),
+		Product:  !l.Relation.Schema().AttrSet().Overlaps(r.Relation.Schema().AttrSet()),
+		Left:     l,
+		Right:    r,
+		Cost:     out.Len() + l.Cost + r.Cost,
+	}
+}
+
+// MaxIntermediate returns the largest internal-node size (0 for a leaf) —
+// the quantity monotone expressions bound by the output size.
+func (a *Annotated) MaxIntermediate() int {
+	if a.Left == nil {
+		return 0
+	}
+	m := a.Size
+	if lm := a.Left.MaxIntermediate(); lm > m {
+		m = lm
+	}
+	if rm := a.Right.MaxIntermediate(); rm > m {
+		m = rm
+	}
+	return m
+}
+
+// Render draws the annotated tree like Tree.Render with sizes (and ×
+// product markers) appended to every node.
+func (a *Annotated) Render(h *hypergraph.Hypergraph) string {
+	names := SchemeNames(h)
+	var b strings.Builder
+	var walk func(n *Annotated, prefix string, last, root bool)
+	walk = func(n *Annotated, prefix string, last, root bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if last {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		if root {
+			connector = ""
+			childPrefix = ""
+		}
+		label := nodeLabel(n.Tree, h, names)
+		marker := ""
+		if n.Product {
+			marker = "  ×product"
+		}
+		fmt.Fprintf(&b, "%s%s%s  [%d tuples]%s\n", prefix, connector, label, n.Size, marker)
+		if n.Left != nil {
+			walk(n.Left, childPrefix, false, false)
+			walk(n.Right, childPrefix, true, false)
+		}
+	}
+	walk(a, "", true, true)
+	return strings.TrimRight(b.String(), "\n")
+}

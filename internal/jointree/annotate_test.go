@@ -1,0 +1,56 @@
+package jointree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvalAnnotated(t *testing.T) {
+	h := paperScheme(t)
+	db := cycleDB(t, 3, 2)
+	tr := MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	a := tr.EvalAnnotated(db)
+
+	// Cost agrees with plain evaluation.
+	if want := tr.Cost(db); a.Cost != want {
+		t.Errorf("annotated cost %d, Eval cost %d", a.Cost, want)
+	}
+	// Result agrees.
+	if !a.Relation.Equal(db.Join()) {
+		t.Error("annotated result wrong")
+	}
+	// Both inner joins are Cartesian products; the root is not.
+	if !a.Left.Product || !a.Right.Product {
+		t.Error("opposite-pair joins should be flagged as products")
+	}
+	if a.Product {
+		t.Error("root join should not be a product")
+	}
+	// Leaf sizes are relation sizes.
+	if a.Left.Left.Size != db.Relation(0).Len() {
+		t.Errorf("leaf size %d", a.Left.Left.Size)
+	}
+	// MaxIntermediate is the largest internal node.
+	maxI := a.MaxIntermediate()
+	if maxI < a.Left.Size || maxI < a.Right.Size || maxI < a.Size {
+		t.Errorf("MaxIntermediate %d below some internal node", maxI)
+	}
+	if leaf := a.Left.Left.MaxIntermediate(); leaf != 0 {
+		t.Errorf("leaf MaxIntermediate = %d", leaf)
+	}
+}
+
+func TestAnnotatedRender(t *testing.T) {
+	h := paperScheme(t)
+	db := cycleDB(t, 3, 2)
+	tr := MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	out := tr.EvalAnnotated(db).Render(h)
+	for _, want := range []string{"tuples]", "×product", "{ABC, EFG}", "└── {GHA}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n") + 1; lines != 7 {
+		t.Errorf("rendered %d lines, want 7", lines)
+	}
+}

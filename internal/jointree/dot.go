@@ -1,0 +1,39 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// DOT renders the tree in Graphviz dot syntax, one node per tree node,
+// labeled like the paper's figures: leaves carry their relation scheme,
+// internal nodes the database scheme below them. Pipe the output through
+// `dot -Tsvg` to reproduce Figures 1, 2 and 4 graphically.
+func (t *Tree) DOT(h *hypergraph.Hypergraph, graphName string) string {
+	if graphName == "" {
+		graphName = "jointree"
+	}
+	names := SchemeNames(h)
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", graphName)
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(n *Tree) int
+	walk = func(n *Tree) int {
+		my := id
+		id++
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", my, nodeLabel(n, h, names))
+		if !n.IsLeaf() {
+			l := walk(n.Left)
+			r := walk(n.Right)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, l)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, r)
+		}
+		return my
+	}
+	walk(t)
+	b.WriteString("}\n")
+	return b.String()
+}

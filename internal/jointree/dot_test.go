@@ -1,0 +1,37 @@
+package jointree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	h := paperScheme(t)
+	tr := MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	dot := tr.DOT(h, "fig1")
+	for _, want := range []string{
+		`digraph "fig1" {`,
+		`label="{ABC, EFG}"`,
+		`label="{GHA}"`,
+		"n0 -> n1;",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// One node per tree node: 7 nodes for the 4-leaf tree.
+	if got := strings.Count(dot, "label="); got != 7 {
+		t.Errorf("DOT has %d labeled nodes, want 7", got)
+	}
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("DOT has %d edges, want 6", got)
+	}
+}
+
+func TestDOTDefaultName(t *testing.T) {
+	h := paperScheme(t)
+	if !strings.Contains(NewLeaf(0).DOT(h, ""), `digraph "jointree"`) {
+		t.Error("default graph name missing")
+	}
+}

@@ -1,0 +1,193 @@
+package jointree
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/hypergraph"
+)
+
+// EnumerationLimit bounds how many trees the enumerators will produce before
+// giving up, as a guard against accidental exponential blow-ups. The spaces
+// are exponential by nature (that is the paper's point in §4); exhaustive
+// enumeration is meant for small schemes.
+const EnumerationLimit = 5_000_000
+
+// ErrTooMany is returned when an enumeration would exceed EnumerationLimit.
+var ErrTooMany = fmt.Errorf("jointree: enumeration exceeds %d trees", EnumerationLimit)
+
+// AllTrees returns every join expression tree exactly over the scheme of h,
+// treating join as noncommutative (both operand orders are distinct trees,
+// as in the paper where Algorithm 2 is order-sensitive).
+func AllTrees(h *hypergraph.Hypergraph) ([]*Tree, error) {
+	if c := CountTrees(h.Len()); !c.IsInt64() || c.Int64() > EnumerationLimit {
+		return nil, ErrTooMany
+	}
+	memo := make(map[hypergraph.Mask][]*Tree)
+	return enumTrees(h.Full(), memo, nil), nil
+}
+
+// AllCPFTrees returns every Cartesian-product-free join expression tree
+// exactly over the scheme of h (join noncommutative).
+func AllCPFTrees(h *hypergraph.Hypergraph) ([]*Tree, error) {
+	if c := CountCPFTrees(h); !c.IsInt64() || c.Int64() > EnumerationLimit {
+		return nil, ErrTooMany
+	}
+	memo := make(map[hypergraph.Mask][]*Tree)
+	return enumTrees(h.Full(), memo, func(l, r hypergraph.Mask) bool {
+		return h.Overlapping(l, r)
+	}), nil
+}
+
+// enumTrees enumerates trees over mask; admit, when non-nil, filters the
+// (left, right) partitions at each node. Subtrees are shared across results,
+// which is safe because trees are treated as immutable.
+func enumTrees(mask hypergraph.Mask, memo map[hypergraph.Mask][]*Tree, admit func(l, r hypergraph.Mask) bool) []*Tree {
+	if got, ok := memo[mask]; ok {
+		return got
+	}
+	if mask.Count() == 1 {
+		out := []*Tree{NewLeaf(mask.Indexes()[0])}
+		memo[mask] = out
+		return out
+	}
+	var out []*Tree
+	// Iterate all nonempty proper submasks as the left operand; the
+	// complement is the right operand. This visits each ordered pair once.
+	for l := (mask - 1) & mask; l != 0; l = (l - 1) & mask {
+		r := mask &^ l
+		if admit != nil && !admit(l, r) {
+			continue
+		}
+		ls := enumTrees(l, memo, admit)
+		rs := enumTrees(r, memo, admit)
+		for _, lt := range ls {
+			for _, rt := range rs {
+				out = append(out, NewJoin(lt, rt))
+			}
+		}
+	}
+	memo[mask] = out
+	return out
+}
+
+// AllLinearTrees returns every linear join expression tree exactly over the
+// scheme of h with the new relation always on the right:
+// (...(Rσ(1) ⋈ Rσ(2)) ⋈ ...) ⋈ Rσ(n) for every permutation σ. When cpfOnly
+// is set, only Cartesian-product-free orders are produced.
+func AllLinearTrees(h *hypergraph.Hypergraph, cpfOnly bool) ([]*Tree, error) {
+	n := h.Len()
+	// n! trees; guard.
+	total := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		total.Mul(total, big.NewInt(int64(i)))
+	}
+	if !total.IsInt64() || total.Int64() > EnumerationLimit {
+		return nil, ErrTooMany
+	}
+	var out []*Tree
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func(prefix *Tree, prefixMask hypergraph.Mask)
+	rec = func(prefix *Tree, prefixMask hypergraph.Mask) {
+		if len(perm) == n {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if cpfOnly && prefix != nil && !h.Overlapping(prefixMask, hypergraph.MaskOf(i)) {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			next := NewLeaf(i)
+			if prefix == nil {
+				rec(next, hypergraph.MaskOf(i))
+			} else {
+				rec(NewJoin(prefix, next), prefixMask.With(i))
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+	}
+	rec(nil, 0)
+	return out, nil
+}
+
+// CountTrees returns the number of join expression trees exactly over a
+// scheme of n relations with join noncommutative: n! · Catalan(n−1), i.e.
+// (2n−2)! / (n−1)!.
+func CountTrees(n int) *big.Int {
+	out := big.NewInt(1)
+	for i := n; i <= 2*n-2; i++ {
+		out.Mul(out, big.NewInt(int64(i)))
+	}
+	return out
+}
+
+// CountCPFTrees counts the Cartesian-product-free trees exactly over the
+// scheme of h, by dynamic programming over edge subsets.
+func CountCPFTrees(h *hypergraph.Hypergraph) *big.Int {
+	memo := make(map[hypergraph.Mask]*big.Int)
+	var count func(mask hypergraph.Mask) *big.Int
+	count = func(mask hypergraph.Mask) *big.Int {
+		if got, ok := memo[mask]; ok {
+			return got
+		}
+		if mask.Count() == 1 {
+			one := big.NewInt(1)
+			memo[mask] = one
+			return one
+		}
+		total := new(big.Int)
+		for l := (mask - 1) & mask; l != 0; l = (l - 1) & mask {
+			r := mask &^ l
+			if !h.Overlapping(l, r) {
+				continue
+			}
+			total.Add(total, new(big.Int).Mul(count(l), count(r)))
+		}
+		memo[mask] = total
+		return total
+	}
+	return count(h.Full())
+}
+
+// CountLinearTrees counts linear trees (new relation on the right) over the
+// scheme of h; with cpfOnly set, only Cartesian-product-free orders count.
+func CountLinearTrees(h *hypergraph.Hypergraph, cpfOnly bool) *big.Int {
+	n := h.Len()
+	if !cpfOnly {
+		out := big.NewInt(1)
+		for i := 2; i <= n; i++ {
+			out.Mul(out, big.NewInt(int64(i)))
+		}
+		return out
+	}
+	memo := make(map[hypergraph.Mask]*big.Int)
+	var count func(mask hypergraph.Mask) *big.Int
+	count = func(mask hypergraph.Mask) *big.Int {
+		if got, ok := memo[mask]; ok {
+			return got
+		}
+		if mask.Count() == 1 {
+			one := big.NewInt(1)
+			memo[mask] = one
+			return one
+		}
+		total := new(big.Int)
+		for _, i := range mask.Indexes() {
+			rest := mask.Without(i)
+			if !h.Overlapping(rest, hypergraph.MaskOf(i)) {
+				continue
+			}
+			total.Add(total, count(rest))
+		}
+		memo[mask] = total
+		return total
+	}
+	return count(h.Full())
+}

@@ -1,0 +1,162 @@
+package jointree
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestCountTrees(t *testing.T) {
+	// (2n−2)!/(n−1)!: 1, 2, 12, 120, 1680 for n = 1..5.
+	want := []int64{1, 2, 12, 120, 1680}
+	for i, w := range want {
+		n := i + 1
+		if got := CountTrees(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("CountTrees(%d) = %v, want %d", n, got, w)
+		}
+	}
+}
+
+func TestAllTreesCountMatches(t *testing.T) {
+	h := paperScheme(t)
+	trees, err := AllTrees(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(trees)) != CountTrees(4).Int64() {
+		t.Errorf("AllTrees produced %d, CountTrees says %v", len(trees), CountTrees(4))
+	}
+	// All distinct and all exactly over the scheme.
+	seen := make(map[string]bool, len(trees))
+	for _, tr := range trees {
+		k := tr.Canon()
+		if seen[k] {
+			t.Fatalf("duplicate tree %s", k)
+		}
+		seen[k] = true
+		if err := tr.Validate(h); err != nil {
+			t.Fatalf("invalid tree: %v", err)
+		}
+	}
+}
+
+func TestAllCPFTreesMatchFilter(t *testing.T) {
+	h := paperScheme(t)
+	all, err := AllTrees(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 0
+	for _, tr := range all {
+		if tr.IsCPF(h) {
+			wantCount++
+		}
+	}
+	cpf, err := AllCPFTrees(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpf) != wantCount {
+		t.Errorf("AllCPFTrees = %d trees, filter says %d", len(cpf), wantCount)
+	}
+	for _, tr := range cpf {
+		if !tr.IsCPF(h) {
+			t.Errorf("non-CPF tree from AllCPFTrees: %s", tr.String(h))
+		}
+	}
+	if got := CountCPFTrees(h); got.Cmp(big.NewInt(int64(wantCount))) != 0 {
+		t.Errorf("CountCPFTrees = %v, want %d", got, wantCount)
+	}
+}
+
+func TestAllLinearTrees(t *testing.T) {
+	h := paperScheme(t)
+	lin, err := AllLinearTrees(h, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 24 { // 4!
+		t.Errorf("AllLinearTrees = %d, want 24", len(lin))
+	}
+	for _, tr := range lin {
+		if !tr.IsLinear() {
+			t.Errorf("non-linear tree: %s", tr.String(h))
+		}
+		if err := tr.Validate(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linCPF, err := AllLinearTrees(h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the 4-cycle: first pick any of 4, then each next must touch the
+	// prefix: 4 starts × 2 × 2 × 1 = 16.
+	if len(linCPF) != 16 {
+		t.Errorf("linear CPF trees = %d, want 16", len(linCPF))
+	}
+	for _, tr := range linCPF {
+		if !tr.IsCPF(h) {
+			t.Errorf("non-CPF linear tree: %s", tr.String(h))
+		}
+	}
+	if got := CountLinearTrees(h, true); got.Cmp(big.NewInt(16)) != 0 {
+		t.Errorf("CountLinearTrees CPF = %v, want 16", got)
+	}
+	if got := CountLinearTrees(h, false); got.Cmp(big.NewInt(24)) != 0 {
+		t.Errorf("CountLinearTrees = %v, want 24", got)
+	}
+}
+
+func TestEnumerationGuards(t *testing.T) {
+	// 12 relations: CountTrees(12) = 22!/11! ≈ 2.8e15 — must refuse.
+	edges := "AB BC CD DE EF FG GH HI IJ JK KL LM"
+	h, err := hypergraph.ParseScheme(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllTrees(h); err != ErrTooMany {
+		t.Errorf("AllTrees on 12 relations: err = %v, want ErrTooMany", err)
+	}
+	if _, err := AllLinearTrees(h, false); err != ErrTooMany {
+		t.Errorf("AllLinearTrees on 12 relations: err = %v, want ErrTooMany", err)
+	}
+}
+
+func TestSingleRelationEnumeration(t *testing.T) {
+	h, err := hypergraph.ParseScheme("AB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func() ([]*Tree, error){
+		func() ([]*Tree, error) { return AllTrees(h) },
+		func() ([]*Tree, error) { return AllCPFTrees(h) },
+		func() ([]*Tree, error) { return AllLinearTrees(h, true) },
+	} {
+		trees, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trees) != 1 || !trees[0].IsLeaf() {
+			t.Errorf("single-relation enumeration = %v", trees)
+		}
+	}
+}
+
+func TestCPFTreesOnDisconnectedScheme(t *testing.T) {
+	h, err := hypergraph.ParseScheme("AB CD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpf, err := AllCPFTrees(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpf) != 0 {
+		t.Errorf("disconnected scheme has %d CPF trees, want 0", len(cpf))
+	}
+	if CountCPFTrees(h).Sign() != 0 {
+		t.Error("CountCPFTrees nonzero on disconnected scheme")
+	}
+}

@@ -1,0 +1,61 @@
+package jointree_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+// ExampleParse round-trips the paper's Figure 1 expression.
+func ExampleParse() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := jointree.Parse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CPF:", t.IsCPF(h))
+	fmt.Println("linear:", t.IsLinear())
+	fmt.Println("Cartesian products:", len(t.CartesianProducts(h)))
+	// Output:
+	// CPF: false
+	// linear: false
+	// Cartesian products: 2
+}
+
+// ExampleCountCPFTrees shows the §4 space-size counters.
+func ExampleCountCPFTrees() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all trees:   ", jointree.CountTrees(h.Len()))
+	fmt.Println("CPF trees:   ", jointree.CountCPFTrees(h))
+	fmt.Println("linear CPF:  ", jointree.CountLinearTrees(h, true))
+	// Output:
+	// all trees:    120
+	// CPF trees:    80
+	// linear CPF:   16
+}
+
+// ExampleTree_Render draws Figure 2 as ASCII art.
+func ExampleTree_Render() {
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := jointree.MustParse(h, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+	fmt.Println(t.Render(h))
+	// Output:
+	// {ABC, CDE, EFG, GHA}
+	// ├── {ABC, CDE, EFG}
+	// │   ├── {ABC, CDE}
+	// │   │   ├── {ABC}
+	// │   │   └── {CDE}
+	// │   └── {EFG}
+	// └── {GHA}
+}

@@ -1,0 +1,47 @@
+package jointree
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// FuzzParse drives the join-expression parser with arbitrary input: it must
+// never panic, and whenever it accepts an input, the resulting tree must
+// validate and round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)",
+		"((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA",
+		"ABC * CDE * EFG * GHA",
+		"ABC |><| CDE |><| EFG |><| GHA",
+		"((((ABC",
+		")))",
+		"⋈⋈⋈",
+		"ABC ⋈ ABC ⋈ ABC ⋈ ABC",
+		"",
+		"GHA#2",
+	} {
+		f.Add(seed)
+	}
+	h, err := hypergraph.ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(h, input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(h); err != nil {
+			t.Fatalf("accepted tree fails validation: %v (input %q)", err, input)
+		}
+		again, err := Parse(h, tr.String(h))
+		if err != nil {
+			t.Fatalf("printed tree does not reparse: %v (input %q)", err, input)
+		}
+		if !tr.Equal(again) {
+			t.Fatalf("round trip changed tree for input %q", input)
+		}
+	})
+}

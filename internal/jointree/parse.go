@@ -1,0 +1,197 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// String renders the tree in the paper's notation using the scheme names of
+// h, e.g. "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)". Duplicate schemes are disambiguated
+// with an occurrence suffix "#k".
+func (t *Tree) String(h *hypergraph.Hypergraph) string {
+	names := SchemeNames(h)
+	var render func(*Tree, bool) string
+	render = func(n *Tree, top bool) string {
+		if n.IsLeaf() {
+			return names[n.Leaf]
+		}
+		s := render(n.Left, false) + " ⋈ " + render(n.Right, false)
+		if top {
+			return s
+		}
+		return "(" + s + ")"
+	}
+	return render(t, true)
+}
+
+// SchemeNames returns a display name per edge: the edge's display name
+// (declaration order for parsed schemes, sorted attributes otherwise),
+// suffixed with "#k" when the same name occurs more than once.
+func SchemeNames(h *hypergraph.Hypergraph) []string {
+	counts := make(map[string]int, h.Len())
+	names := make([]string, h.Len())
+	for i := 0; i < h.Len(); i++ {
+		base := h.DisplayName(i)
+		counts[base]++
+		if counts[base] == 1 {
+			names[i] = base
+		} else {
+			names[i] = fmt.Sprintf("%s#%d", base, counts[base])
+		}
+	}
+	// Retroactively suffix the first occurrence of any duplicated name.
+	seen := make(map[string]bool, h.Len())
+	for i := 0; i < h.Len(); i++ {
+		base := h.DisplayName(i)
+		if counts[base] > 1 && !seen[base] {
+			names[i] = base + "#1"
+		}
+		seen[base] = true
+	}
+	return names
+}
+
+// Parse reads a join expression in the paper's notation over the scheme of
+// h. Operands are scheme names as produced by SchemeNames (attribute
+// characters in any order; "#k" suffix selects a duplicate occurrence); the
+// join operator is "⋈", "|><|", or "*"; parentheses group. Every scheme
+// occurrence must appear exactly once.
+func Parse(h *hypergraph.Hypergraph, input string) (*Tree, error) {
+	p := &parser{h: h, toks: tokenize(input), used: make([]bool, h.Len())}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("jointree: trailing input %q", strings.Join(p.toks[p.pos:], " "))
+	}
+	for i, u := range p.used {
+		if !u {
+			return nil, fmt.Errorf("jointree: scheme occurrence %d (%s) missing from expression", i, h.Edge(i))
+		}
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests.
+func MustParse(h *hypergraph.Hypergraph, input string) *Tree {
+	t, err := Parse(h, input)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	h    *hypergraph.Hypergraph
+	toks []string
+	pos  int
+	used []bool
+}
+
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "|><|", " ⋈ ")
+	s = strings.ReplaceAll(s, "*", " ⋈ ")
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+// parseExpr parses a left-associative chain of joins.
+func (p *parser) parseExpr() (*Tree, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "⋈" {
+		p.next()
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		left = NewJoin(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseOperand() (*Tree, error) {
+	switch tok := p.next(); tok {
+	case "":
+		return nil, fmt.Errorf("jointree: unexpected end of expression")
+	case "(":
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if close := p.next(); close != ")" {
+			return nil, fmt.Errorf("jointree: expected ')', got %q", close)
+		}
+		return t, nil
+	case ")", "⋈":
+		return nil, fmt.Errorf("jointree: unexpected token %q", tok)
+	default:
+		idx, err := p.resolve(tok)
+		if err != nil {
+			return nil, err
+		}
+		if p.used[idx] {
+			return nil, fmt.Errorf("jointree: scheme occurrence %q used more than once", tok)
+		}
+		p.used[idx] = true
+		return NewLeaf(idx), nil
+	}
+}
+
+// resolve maps a scheme name token to an unused edge index. The attribute
+// characters may appear in any order; "#k" picks the k-th occurrence of a
+// duplicated scheme, and a bare name matches the first unused occurrence.
+func (p *parser) resolve(tok string) (int, error) {
+	name, occ := tok, 0
+	if i := strings.IndexByte(tok, '#'); i >= 0 {
+		name = tok[:i]
+		if _, err := fmt.Sscanf(tok[i:], "#%d", &occ); err != nil || occ < 1 {
+			return 0, fmt.Errorf("jointree: bad occurrence suffix in %q", tok)
+		}
+	}
+	want := attrSetOfName(name)
+	seen := 0
+	firstUnused := -1
+	for i := 0; i < p.h.Len(); i++ {
+		if !p.h.Edge(i).Equal(want) {
+			continue
+		}
+		seen++
+		if occ > 0 && seen == occ {
+			return i, nil
+		}
+		if occ == 0 && firstUnused < 0 && !p.used[i] {
+			firstUnused = i
+		}
+	}
+	if occ == 0 && firstUnused >= 0 {
+		return firstUnused, nil
+	}
+	return 0, fmt.Errorf("jointree: no scheme occurrence matches %q in %s", tok, p.h)
+}
+
+func attrSetOfName(name string) relation.AttrSet {
+	return relation.AttrSetOfRunes(name)
+}

@@ -1,0 +1,104 @@
+package jointree
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	h := paperScheme(t)
+	for _, expr := range []string{
+		"(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)",
+		"((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA",
+		"ABC ⋈ CDE ⋈ EFG ⋈ GHA", // left-associative chain
+	} {
+		tr, err := Parse(h, expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		if err := tr.Validate(h); err != nil {
+			t.Fatalf("Parse(%q) invalid: %v", expr, err)
+		}
+		// Round-trip: printing and reparsing yields an equal tree.
+		again, err := Parse(h, tr.String(h))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", tr.String(h), err)
+		}
+		if !tr.Equal(again) {
+			t.Errorf("round trip changed tree: %s vs %s", tr.String(h), again.String(h))
+		}
+	}
+}
+
+func TestParseOperatorSpellings(t *testing.T) {
+	h := paperScheme(t)
+	a := MustParse(h, "(ABC ⋈ CDE) ⋈ (EFG ⋈ GHA)")
+	b := MustParse(h, "(ABC * CDE) * (EFG * GHA)")
+	c := MustParse(h, "(ABC |><| CDE) |><| (EFG |><| GHA)")
+	if !a.Equal(b) || !a.Equal(c) {
+		t.Error("operator spellings parse differently")
+	}
+}
+
+func TestParseAttrOrderInsensitive(t *testing.T) {
+	h := paperScheme(t)
+	a := MustParse(h, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+	b := MustParse(h, "((CBA ⋈ DEC) ⋈ GFE) ⋈ AGH")
+	if !a.Equal(b) {
+		t.Error("scheme tokens should match by attribute set")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	h := paperScheme(t)
+	for _, expr := range []string{
+		"",
+		"ABC",                         // missing relations
+		"(ABC ⋈ CDE",                  // unclosed paren
+		"ABC ⋈ CDE ⋈ EFG ⋈ GHA ⋈ ABC", // duplicate occurrence
+		"ABC ⋈ CDE ⋈ EFG ⋈ XYZ",       // unknown scheme
+		"ABC ⋈ CDE ⋈ EFG ⋈ GHA)",      // trailing paren
+		"(ABC ⋈ CDE) (EFG ⋈ GHA)",     // missing operator
+		"((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA#2", // occurrence out of range
+		"((ABC ⋈ ⋈ CDE) ⋈ EFG) ⋈ GHA", // stray operator
+	} {
+		if _, err := Parse(h, expr); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", expr)
+		}
+	}
+}
+
+func TestDuplicateSchemeNames(t *testing.T) {
+	h, err := hypergraph.ParseScheme("AB AB BC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SchemeNames(h)
+	if names[0] != "AB#1" || names[1] != "AB#2" || names[2] != "BC" {
+		t.Errorf("SchemeNames = %v", names)
+	}
+	tr, err := Parse(h, "(AB#1 ⋈ AB#2) ⋈ BC")
+	if err != nil {
+		t.Fatalf("Parse with occurrence suffixes: %v", err)
+	}
+	if err := tr.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// Bare names resolve to the first unused occurrence.
+	tr2, err := Parse(h, "(AB ⋈ AB) ⋈ BC")
+	if err != nil {
+		t.Fatalf("Parse with bare duplicate names: %v", err)
+	}
+	if err := tr2.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDisplaysPaperOrder(t *testing.T) {
+	h := paperScheme(t)
+	tr := MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	if got := tr.String(h); got != "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)" {
+		t.Errorf("String = %q", got)
+	}
+}

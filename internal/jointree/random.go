@@ -1,0 +1,44 @@
+package jointree
+
+import "math/rand"
+
+// RandomTree draws a join expression tree exactly over n relations,
+// uniformly at random among all (2n−2)!/(n−1)! ordered trees. The shape is
+// sampled with Rémy's algorithm (uniform over binary tree shapes with
+// labeled leaves, grown one leaf at a time by splitting a uniformly chosen
+// node), which also assigns the leaf labels uniformly.
+func RandomTree(rng *rand.Rand, n int) *Tree {
+	if n <= 0 {
+		return nil
+	}
+	// Rémy: maintain the list of all nodes; to add leaf k, pick any node u
+	// uniformly, replace it with a new internal node whose children are u
+	// and the new leaf, on a uniformly chosen side.
+	root := NewLeaf(0)
+	nodes := []*Tree{root}
+	parent := map[*Tree]*Tree{}
+	for k := 1; k < n; k++ {
+		u := nodes[rng.Intn(len(nodes))]
+		leaf := NewLeaf(k)
+		var internal *Tree
+		if rng.Intn(2) == 0 {
+			internal = NewJoin(u, leaf)
+		} else {
+			internal = NewJoin(leaf, u)
+		}
+		if p, ok := parent[u]; ok {
+			if p.Left == u {
+				p.Left = internal
+			} else {
+				p.Right = internal
+			}
+			parent[internal] = p
+		} else {
+			root = internal
+		}
+		parent[u] = internal
+		parent[leaf] = internal
+		nodes = append(nodes, internal, leaf)
+	}
+	return root
+}

@@ -1,0 +1,62 @@
+package jointree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestRandomTreeValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	h, err := hypergraph.ParseScheme("AB BC CD DE EF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		tr := RandomTree(rng, 5)
+		if err := tr.Validate(h); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if RandomTree(rng, 0) != nil {
+		t.Error("n=0 should yield nil")
+	}
+	if tr := RandomTree(rng, 1); !tr.IsLeaf() || tr.Leaf != 0 {
+		t.Error("n=1 should yield the single leaf")
+	}
+}
+
+// TestRandomTreeUniform checks Rémy's algorithm empirically: over n = 3
+// relations there are exactly 12 ordered trees; a chi-squared-style bound
+// on 12k samples should see every tree close to 1/12.
+func TestRandomTreeUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	const samples = 24000
+	counts := map[string]int{}
+	for i := 0; i < samples; i++ {
+		counts[RandomTree(rng, 3).Canon()]++
+	}
+	if len(counts) != 12 {
+		t.Fatalf("saw %d distinct trees, want 12", len(counts))
+	}
+	expected := float64(samples) / 12
+	for canon, c := range counts {
+		if math.Abs(float64(c)-expected) > 0.15*expected {
+			t.Errorf("tree %s drawn %d times, expected ≈ %.0f", canon, c, expected)
+		}
+	}
+}
+
+func TestRandomTreeCoversAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	// n = 4 has 120 ordered trees; 40k draws should hit every one.
+	seen := map[string]bool{}
+	for i := 0; i < 40000; i++ {
+		seen[RandomTree(rng, 4).Canon()] = true
+	}
+	if len(seen) != 120 {
+		t.Errorf("saw %d distinct trees, want 120", len(seen))
+	}
+}

@@ -1,0 +1,50 @@
+package jointree
+
+import (
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// Render draws the tree as ASCII art, one node per line, children indented
+// under their parent — a textual analogue of the paper's Figures 1, 2 and 4.
+// Internal nodes show the database scheme at the node (the set of relation
+// schemes below it), leaves show their relation scheme.
+func (t *Tree) Render(h *hypergraph.Hypergraph) string {
+	names := SchemeNames(h)
+	var b strings.Builder
+	var walk func(n *Tree, prefix string, last bool, root bool)
+	walk = func(n *Tree, prefix string, last, root bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if last {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		if root {
+			connector = ""
+			childPrefix = ""
+		}
+		b.WriteString(prefix + connector + nodeLabel(n, h, names) + "\n")
+		if n.IsLeaf() {
+			return
+		}
+		walk(n.Left, childPrefix, false, false)
+		walk(n.Right, childPrefix, true, false)
+	}
+	walk(t, "", true, true)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// nodeLabel renders a node: leaves by scheme name, internal nodes by the
+// node's database scheme {S1, S2, …}.
+func nodeLabel(n *Tree, h *hypergraph.Hypergraph, names []string) string {
+	if n.IsLeaf() {
+		return "{" + names[n.Leaf] + "}"
+	}
+	parts := make([]string, 0, n.Mask().Count())
+	for _, i := range n.Mask().Indexes() {
+		parts = append(parts, names[i])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

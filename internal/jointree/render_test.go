@@ -1,0 +1,43 @@
+package jointree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFigure1(t *testing.T) {
+	h := paperScheme(t)
+	tr := MustParse(h, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)")
+	got := tr.Render(h)
+	want := strings.TrimSpace(`
+{ABC, CDE, EFG, GHA}
+├── {ABC, EFG}
+│   ├── {ABC}
+│   └── {EFG}
+└── {CDE, GHA}
+    ├── {CDE}
+    └── {GHA}`)
+	if got != want {
+		t.Errorf("Render =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestRenderLeaf(t *testing.T) {
+	h := paperScheme(t)
+	got := NewLeaf(2).Render(h)
+	if got != "{EFG}" {
+		t.Errorf("Render(leaf) = %q", got)
+	}
+}
+
+func TestRenderDeepSpine(t *testing.T) {
+	h := paperScheme(t)
+	tr := MustParse(h, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+	got := tr.Render(h)
+	if !strings.Contains(got, "{ABC, CDE, EFG}") {
+		t.Errorf("internal node label missing:\n%s", got)
+	}
+	if lines := strings.Count(got, "\n") + 1; lines != 7 {
+		t.Errorf("rendered %d lines, want 7 (one per node)", lines)
+	}
+}

@@ -1,0 +1,35 @@
+package optimizer
+
+// AdjacencyImprove applies the Smith–Genesereth "adjacency restriction
+// rule" the paper cites ([6]): starting from a given linear join order,
+// repeatedly swap adjacent relations whenever the swap lowers the §2.3
+// cost, until no adjacent swap helps. The result is a locally optimal
+// linear order under adjacent transpositions — the deterministic core that
+// Swami and Gupta's randomized searches wrap restarts around.
+//
+// It returns the improved plan; the input slice is not modified.
+func AdjacencyImprove(c Sizer, order []int) (Plan, error) {
+	cur := append([]int(nil), order...)
+	cost, err := orderCost(c, cur)
+	if err != nil {
+		return Plan{}, err
+	}
+	improved := true
+	for improved {
+		improved = false
+		for k := 0; k+1 < len(cur); k++ {
+			cur[k], cur[k+1] = cur[k+1], cur[k]
+			nc, err := orderCost(c, cur)
+			if err != nil {
+				return Plan{}, err
+			}
+			if nc < cost {
+				cost = nc
+				improved = true
+			} else {
+				cur[k], cur[k+1] = cur[k+1], cur[k]
+			}
+		}
+	}
+	return Plan{Tree: orderTree(cur), Cost: cost}, nil
+}

@@ -1,0 +1,81 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAdjacencyImproveNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 25; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 3 + rng.Intn(4), Attrs: 5, MaxArity: 3, Connected: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(10), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := NewCatalog(db, 0)
+		order := rng.Perm(h.Len())
+		before, err := orderCost(cat, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := AdjacencyImprove(cat, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Cost > before {
+			t.Fatalf("trial %d: adjacency rule worsened %d → %d", trial, before, plan.Cost)
+		}
+		if !plan.Tree.IsLinear() {
+			t.Fatal("result not linear")
+		}
+		// Local optimality: no single adjacent swap improves further.
+		final := plan.Tree.Leaves()
+		for k := 0; k+1 < len(final); k++ {
+			swapped := append([]int(nil), final...)
+			swapped[k], swapped[k+1] = swapped[k+1], swapped[k]
+			c, err := orderCost(cat, swapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < plan.Cost {
+				t.Fatalf("trial %d: not locally optimal (swap %d improves %d → %d)", trial, k, plan.Cost, c)
+			}
+		}
+		// Input untouched.
+		if len(order) != h.Len() {
+			t.Fatal("input modified")
+		}
+	}
+}
+
+func TestAdjacencyImproveOnExample3(t *testing.T) {
+	spec, err := workload.Example3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizer, err := spec.AnalyticSizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from the naive order; the rule must find a no-worse local
+	// optimum, and it can never beat the exact linear DP.
+	plan, err := AdjacencyImprove(sizer, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Optimal(sizer, SpaceLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost < exact.Cost {
+		t.Fatalf("adjacency rule (%d) beat the exact linear DP (%d)", plan.Cost, exact.Cost)
+	}
+}

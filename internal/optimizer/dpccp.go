@@ -1,0 +1,159 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+// This file implements DPccp-style enumeration (Moerkotte & Neumann,
+// "Analysis of Two Existing and One New Dynamic Programming Algorithm for
+// the Generation of Optimal Bushy Join Trees without Cross Products",
+// VLDB 2006) adapted to hypergraph connectivity: instead of scanning all
+// 3^n subset partitions and filtering, it enumerates exactly the
+// (connected subgraph, connected complement) pairs — the feasible CPF
+// partitions — so the CPF dynamic program touches no infeasible pair.
+//
+// Connectivity here is edge-overlap connectivity on relation scheme
+// occurrences, matching hypergraph.Connected.
+
+// csgCmpPair is one feasible CPF partition: S1 and S2 are connected,
+// disjoint, and share at least one attribute.
+type csgCmpPair struct {
+	s1, s2 hypergraph.Mask
+}
+
+// enumerateCsgCmpPairs yields every unordered csg-cmp pair of the
+// hypergraph exactly once (with s1 containing the lower minimum index).
+func enumerateCsgCmpPairs(h *hypergraph.Hypergraph, emit func(csgCmpPair)) {
+	n := h.Len()
+	// Enumerate connected subgraphs in the DPccp order: seed each node i,
+	// forbidding nodes < i, and expand by neighbourhoods.
+	for i := n - 1; i >= 0; i-- {
+		seed := hypergraph.MaskOf(i)
+		forbidden := smallerMask(i)
+		emitCmpForCsg(h, seed, emit)
+		enumerateCsgRec(h, seed, forbidden, func(s hypergraph.Mask) {
+			emitCmpForCsg(h, s, emit)
+		})
+	}
+}
+
+// smallerMask returns the mask of indexes < i.
+func smallerMask(i int) hypergraph.Mask {
+	return hypergraph.FullMask(i)
+}
+
+// enumerateCsgRec expands the connected set s by every nonempty subset of
+// its allowed neighbourhood, recursively, yielding each enlargement once.
+func enumerateCsgRec(h *hypergraph.Hypergraph, s, forbidden hypergraph.Mask, yield func(hypergraph.Mask)) {
+	neigh := h.Neighbors(s, h.Full()) &^ forbidden &^ s
+	if neigh == 0 {
+		return
+	}
+	// All nonempty subsets of neigh, in subset-enumeration order.
+	for sub := neigh; sub != 0; sub = (sub - 1) & neigh {
+		yield(s | sub)
+	}
+	for sub := neigh; sub != 0; sub = (sub - 1) & neigh {
+		enumerateCsgRec(h, s|sub, forbidden|neigh, yield)
+	}
+}
+
+// emitCmpForCsg enumerates the connected complements of the connected set
+// s1, following Moerkotte–Neumann: with X = s1 ∪ B_min(s1) (every index up
+// to s1's minimum), the complement seeds are the neighbours of s1 outside
+// X; each seed j expands over nodes outside X and outside the smaller-
+// indexed seeds. Every complement contains a neighbour of s1, so the pair
+// always shares an attribute.
+func emitCmpForCsg(h *hypergraph.Hypergraph, s1 hypergraph.Mask, emit func(csgCmpPair)) {
+	minIdx := bits.TrailingZeros64(uint64(s1))
+	x := s1 | smallerMask(minIdx+1)
+	candidates := h.Neighbors(s1, h.Full()) &^ x
+	if candidates == 0 {
+		return
+	}
+	for _, j := range candidates.Indexes() {
+		seed := hypergraph.MaskOf(j)
+		emit(csgCmpPair{s1: s1, s2: seed})
+		forbidden := x | (candidates & smallerMask(j+1))
+		enumerateCsgRec(h, seed, forbidden, func(s2 hypergraph.Mask) {
+			emit(csgCmpPair{s1: s1, s2: s2})
+		})
+	}
+}
+
+// OptimalCPFccp runs the CPF dynamic program driven by csg-cmp-pair
+// enumeration instead of subset scanning. It returns the same plan cost as
+// Optimal(c, SpaceCPF); the two are cross-checked in the tests. On schemes
+// whose CPF partitions are sparse relative to 3^n, this formulation does
+// asymptotically less work.
+func OptimalCPFccp(c Sizer) (Plan, error) {
+	h := c.Hypergraph()
+	n := h.Len()
+	if n > MaxExactRelations {
+		return Plan{}, fmt.Errorf("optimizer: %d relations exceeds the exact-search limit %d", n, MaxExactRelations)
+	}
+	best := make(map[hypergraph.Mask]bushyCell, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		best[hypergraph.MaskOf(i)] = bushyCell{cost: leafSize(c, i)}
+	}
+
+	var pairs []csgCmpPair
+	enumerateCsgCmpPairs(h, func(p csgCmpPair) { pairs = append(pairs, p) })
+	// Process pairs in increasing size of the union so sub-solutions exist.
+	sortPairsByUnionSize(pairs)
+
+	var firstErr error
+	for _, p := range pairs {
+		union := p.s1 | p.s2
+		lc, lok := best[p.s1]
+		rc, rok := best[p.s2]
+		if !lok || !rok {
+			continue
+		}
+		size, err := c.Size(union)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		total := satAdd(satAdd(lc.cost, rc.cost), size)
+		if cur, ok := best[union]; !ok || total < cur.cost {
+			best[union] = bushyCell{cost: total, left: p.s1, right: p.s2}
+		}
+	}
+	root, ok := best[h.Full()]
+	if !ok || root.cost >= Infinite {
+		if firstErr != nil {
+			return Plan{}, firstErr
+		}
+		return Plan{}, fmt.Errorf("optimizer: no plan in space %s (disconnected scheme?)", SpaceCPF)
+	}
+	var build func(mask hypergraph.Mask) *jointree.Tree
+	build = func(mask hypergraph.Mask) *jointree.Tree {
+		cell := best[mask]
+		if cell.left == 0 {
+			return jointree.NewLeaf(mask.Indexes()[0])
+		}
+		return jointree.NewJoin(build(cell.left), build(cell.right))
+	}
+	return Plan{Tree: build(h.Full()), Cost: root.cost}, nil
+}
+
+// sortPairsByUnionSize orders pairs by popcount of the union (insertion
+// sort over 17 buckets — unions have 2..n members).
+func sortPairsByUnionSize(pairs []csgCmpPair) {
+	buckets := make([][]csgCmpPair, 65)
+	for _, p := range pairs {
+		c := (p.s1 | p.s2).Count()
+		buckets[c] = append(buckets[c], p)
+	}
+	out := pairs[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+}

@@ -1,0 +1,228 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/workload"
+)
+
+// brutePairs enumerates every valid CPF partition pair by brute force:
+// (S1, S2) connected, disjoint, attribute-overlapping; unordered (keyed
+// with the smaller mask first).
+func brutePairs(h *hypergraph.Hypergraph) map[string]bool {
+	out := map[string]bool{}
+	full := h.Full()
+	for s1 := hypergraph.Mask(1); s1 <= full; s1++ {
+		if !h.Connected(s1) {
+			continue
+		}
+		for s2 := s1 + 1; s2 <= full; s2++ {
+			if s1&s2 != 0 || !h.Connected(s2) || !h.Overlapping(s1, s2) {
+				continue
+			}
+			out[pairKey(s1, s2)] = true
+		}
+	}
+	return out
+}
+
+func pairKey(a, b hypergraph.Mask) string {
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%d|%d", a, b)
+}
+
+// TestCsgCmpPairsComplete cross-checks the DPccp enumeration against brute
+// force on assorted schemes: every valid pair must be emitted (duplicates
+// are tolerated; missing pairs are not).
+func TestCsgCmpPairsComplete(t *testing.T) {
+	schemes := []string{
+		"ABC CDE EFG GHA", // the paper's 4-cycle
+		"AB BC CD DE",     // chain
+		"AB AC AD AE",     // star
+		"AB BC CA",        // triangle
+		"AB BC CD DA AC",  // cycle with chord
+		"AB AB BC",        // duplicates
+		"ABC BCD ABD ACD", // dense
+	}
+	for _, s := range schemes {
+		h, err := hypergraph.ParseScheme(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brutePairs(h)
+		got := map[string]bool{}
+		dups := 0
+		enumerateCsgCmpPairs(h, func(p csgCmpPair) {
+			k := pairKey(p.s1, p.s2)
+			if got[k] {
+				dups++
+			}
+			got[k] = true
+			// Every emitted pair must be valid.
+			if p.s1&p.s2 != 0 || !h.Connected(p.s1) || !h.Connected(p.s2) || !h.Overlapping(p.s1, p.s2) {
+				t.Errorf("%s: invalid pair %v %v", s, p.s1, p.s2)
+			}
+		})
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%s: missing pair %s (have %d of %d)", s, k, len(got), len(want))
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Errorf("%s: spurious pair %s", s, k)
+			}
+		}
+	}
+}
+
+// TestCsgCmpPairsCompleteRandom repeats the cross-check on random schemes.
+func TestCsgCmpPairsCompleteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 40; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 2 + rng.Intn(5), Attrs: 4 + rng.Intn(3), MaxArity: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brutePairs(h)
+		got := map[string]bool{}
+		enumerateCsgCmpPairs(h, func(p csgCmpPair) { got[pairKey(p.s1, p.s2)] = true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%s): got %d pairs, want %d", trial, h, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d (%s): missing pair %s", trial, h, k)
+			}
+		}
+	}
+}
+
+// TestOptimalCPFccpMatchesSubsetDP: the DPccp-driven optimizer must agree
+// with the subset-scanning DP on cost, everywhere.
+func TestOptimalCPFccpMatchesSubsetDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for trial := 0; trial < 25; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 2 + rng.Intn(5), Attrs: 5, MaxArity: 3, Connected: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(10), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := NewCatalog(db, 0)
+		want, errWant := Optimal(cat, SpaceCPF)
+		got, errGot := OptimalCPFccp(cat)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("trial %d (%s): errors disagree: %v vs %v", trial, h, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("trial %d (%s): DPccp cost %d, subset DP %d", trial, h, got.Cost, want.Cost)
+		}
+		if !got.Tree.IsCPF(h) {
+			t.Fatalf("trial %d: DPccp produced a non-CPF tree", trial)
+		}
+	}
+	// The paper instance too.
+	spec, err := workload.Example3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizer, err := spec.AnalyticSizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimal(sizer, SpaceCPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimalCPFccp(sizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("Example3: DPccp %d, subset DP %d", got.Cost, want.Cost)
+	}
+}
+
+// BenchmarkCPFDPVariants compares the subset-scanning and csg-cmp-pair
+// formulations on a sparse chain (where DPccp's advantage is largest).
+func BenchmarkCPFDPVariants(b *testing.B) {
+	h, err := workload.ChainScheme(14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := workload.ChainDatabase(14, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = h
+	warm := NewCatalog(db, 0)
+	if _, err := Optimal(warm, SpaceCPF); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("subsetScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Optimal(warm, SpaceCPF); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csgCmpPairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := OptimalCPFccp(warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestOptimalCPFccpBudgetError(t *testing.T) {
+	spec, err := workload.Example3(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(db, 1)
+	if _, err := OptimalCPFccp(cat); err == nil {
+		t.Error("budget exhaustion not surfaced")
+	}
+}
+
+func TestOptimalCPFccpSingleRelation(t *testing.T) {
+	spec, err := workload.Example3(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := db.Restrict([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimalCPFccp(NewCatalog(single, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Tree.IsLeaf() || plan.Cost != int64(single.Relation(0).Len()) {
+		t.Errorf("single-relation plan = %v cost %d", plan.Tree, plan.Cost)
+	}
+}

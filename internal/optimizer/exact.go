@@ -1,0 +1,250 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+// Plan is a join expression tree with its exact cost on the database the
+// optimizer ran against.
+type Plan struct {
+	Tree *jointree.Tree
+	// Cost is the paper's cost(E(D)): Σ|R| over leaves plus every
+	// intermediate and the final result.
+	Cost int64
+}
+
+// MaxExactRelations bounds the exhaustive dynamic programs: the bushy DP
+// enumerates all partitions of all subsets (3^n work).
+const MaxExactRelations = 16
+
+// Space selects a search space of join expressions.
+type Space int
+
+const (
+	// SpaceAll is every join expression tree (bushy, products allowed).
+	SpaceAll Space = iota
+	// SpaceCPF is every Cartesian-product-free tree.
+	SpaceCPF
+	// SpaceLinear is every linear tree (products allowed).
+	SpaceLinear
+	// SpaceLinearCPF is every linear Cartesian-product-free tree.
+	SpaceLinearCPF
+)
+
+// String names the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceAll:
+		return "all"
+	case SpaceCPF:
+		return "CPF"
+	case SpaceLinear:
+		return "linear"
+	case SpaceLinearCPF:
+		return "linear-CPF"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// Optimal finds a cheapest join expression in the given space by exact
+// dynamic programming over true cardinalities. It returns an error when the
+// scheme is too large, the space is empty (a disconnected scheme has no CPF
+// tree), or the catalog budget is exhausted.
+func Optimal(c Sizer, space Space) (Plan, error) {
+	n := c.Hypergraph().Len()
+	if n > MaxExactRelations {
+		return Plan{}, fmt.Errorf("optimizer: %d relations exceeds the exact-search limit %d", n, MaxExactRelations)
+	}
+	switch space {
+	case SpaceAll:
+		return optimalBushy(c, false)
+	case SpaceCPF:
+		return optimalBushy(c, true)
+	case SpaceLinear:
+		return optimalLinear(c, false)
+	case SpaceLinearCPF:
+		return optimalLinear(c, true)
+	default:
+		return Plan{}, fmt.Errorf("optimizer: unknown space %v", space)
+	}
+}
+
+// leafSize returns |R_i| through the sizer; singleton sizes never fail for
+// a well-formed sizer, so errors collapse to Infinite.
+func leafSize(c Sizer, i int) int64 {
+	sz, err := c.Size(hypergraph.MaskOf(i))
+	if err != nil {
+		return Infinite
+	}
+	return sz
+}
+
+// bushyCell is one DP entry: the best cost for a subset and the partition
+// that achieves it (left == 0 marks a leaf).
+type bushyCell struct {
+	cost  int64
+	left  hypergraph.Mask
+	right hypergraph.Mask
+}
+
+// optimalBushy runs the subset DP. With cpf set, only partitions whose sides
+// share an attribute (and, recursively, are CPF) are admitted, and only
+// connected subsets have entries.
+func optimalBushy(c Sizer, cpf bool) (Plan, error) {
+	n := c.Hypergraph().Len()
+	full := c.Hypergraph().Full()
+	best := make(map[hypergraph.Mask]bushyCell, 1<<uint(n))
+
+	// Subsets in increasing cardinality: iterate all masks; a mask's proper
+	// submasks are numerically smaller, so ascending mask order works.
+	for mask := hypergraph.Mask(1); mask <= full; mask++ {
+		if mask.Count() == 1 {
+			best[mask] = bushyCell{cost: leafSize(c, mask.Indexes()[0])}
+			continue
+		}
+		if cpf && !c.Hypergraph().Connected(mask) {
+			continue
+		}
+		size, err := c.Size(mask)
+		if err != nil {
+			return Plan{}, err
+		}
+		cell := bushyCell{cost: Infinite}
+		for l := (mask - 1) & mask; l != 0; l = (l - 1) & mask {
+			r := mask &^ l
+			if l < r {
+				// Each unordered partition once; operand order does not
+				// affect cost.
+				continue
+			}
+			lc, lok := best[l]
+			rc, rok := best[r]
+			if !lok || !rok {
+				continue
+			}
+			if cpf && !c.Hypergraph().Overlapping(l, r) {
+				continue
+			}
+			if total := satAdd(lc.cost, rc.cost); total < cell.cost {
+				cell.cost = total
+				cell.left, cell.right = l, r
+			}
+		}
+		if cell.cost >= Infinite {
+			continue // no feasible partition (CPF over non-splittable subset)
+		}
+		cell.cost = satAdd(cell.cost, size)
+		best[mask] = cell
+	}
+
+	root, ok := best[full]
+	if !ok || root.cost >= Infinite {
+		return Plan{}, fmt.Errorf("optimizer: no plan in space %s (disconnected scheme?)", map[bool]Space{false: SpaceAll, true: SpaceCPF}[cpf])
+	}
+	var build func(mask hypergraph.Mask) *jointree.Tree
+	build = func(mask hypergraph.Mask) *jointree.Tree {
+		cell := best[mask]
+		if cell.left == 0 {
+			return jointree.NewLeaf(mask.Indexes()[0])
+		}
+		return jointree.NewJoin(build(cell.left), build(cell.right))
+	}
+	return Plan{Tree: build(full), Cost: root.cost}, nil
+}
+
+// linCell is one linear-DP entry: best cost for a prefix set and the last
+// relation appended.
+type linCell struct {
+	cost int64
+	last int
+}
+
+// optimalLinear runs the left-deep DP: dp[S] = |⋈D[S]| + min over i∈S of
+// dp[S−i] + |R_i| (the leaf cost of the appended relation). With cpf set,
+// only extensions sharing an attribute with the prefix are admitted.
+func optimalLinear(c Sizer, cpf bool) (Plan, error) {
+	full := c.Hypergraph().Full()
+	if c.Hypergraph().Len() == 1 {
+		return Plan{Tree: jointree.NewLeaf(0), Cost: leafSize(c, 0)}, nil
+	}
+	best := make(map[hypergraph.Mask]linCell, 1<<uint(c.Hypergraph().Len()))
+
+	for mask := hypergraph.Mask(1); mask <= full; mask++ {
+		if mask.Count() == 1 {
+			best[mask] = linCell{cost: leafSize(c, mask.Indexes()[0]), last: -1}
+			continue
+		}
+		cell := linCell{cost: Infinite, last: -1}
+		for _, i := range mask.Indexes() {
+			rest := mask.Without(i)
+			sub, ok := best[rest]
+			if !ok {
+				continue
+			}
+			if cpf && !c.Hypergraph().Overlapping(rest, hypergraph.MaskOf(i)) {
+				continue
+			}
+			total := satAdd(sub.cost, leafSize(c, i))
+			if total < cell.cost {
+				cell.cost = total
+				cell.last = i
+			}
+		}
+		if cell.last < 0 {
+			continue
+		}
+		size, err := c.Size(mask)
+		if err != nil {
+			return Plan{}, err
+		}
+		cell.cost = satAdd(cell.cost, size)
+		best[mask] = cell
+	}
+
+	root, ok := best[full]
+	if !ok || root.cost >= Infinite {
+		return Plan{}, fmt.Errorf("optimizer: no plan in space %s", map[bool]Space{false: SpaceLinear, true: SpaceLinearCPF}[cpf])
+	}
+	// Reconstruct the order back to front.
+	order := make([]int, 0, c.Hypergraph().Len())
+	for mask := full; mask.Count() > 1; {
+		cell := best[mask]
+		order = append(order, cell.last)
+		mask = mask.Without(cell.last)
+		if mask.Count() == 1 {
+			order = append(order, mask.Indexes()[0])
+		}
+	}
+	// order is reversed (last appended first).
+	tree := jointree.NewLeaf(order[len(order)-1])
+	for i := len(order) - 2; i >= 0; i-- {
+		tree = jointree.NewJoin(tree, jointree.NewLeaf(order[i]))
+	}
+	return Plan{Tree: tree, Cost: root.cost}, nil
+}
+
+// CostOf evaluates the paper's cost of an arbitrary tree using the catalog
+// (no joins beyond the catalog's connected materializations are executed;
+// every node's size comes from component products).
+func CostOf(c Sizer, t *jointree.Tree) (int64, error) {
+	if t.IsLeaf() {
+		return leafSize(c, t.Leaf), nil
+	}
+	lc, err := CostOf(c, t.Left)
+	if err != nil {
+		return 0, err
+	}
+	rc, err := CostOf(c, t.Right)
+	if err != nil {
+		return 0, err
+	}
+	size, err := c.Size(t.Mask())
+	if err != nil {
+		return 0, err
+	}
+	return satAdd(satAdd(lc, rc), size), nil
+}

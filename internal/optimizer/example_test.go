@@ -1,0 +1,57 @@
+package optimizer_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// ExampleOptimal reproduces the Example 3 cost separation at the paper's
+// k = 1 scale using the family's closed-form sizes — no data materialized.
+func ExampleOptimal() {
+	spec, err := workload.Example3(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizer, err := spec.AnalyticSizer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := optimizer.Optimal(sizer, optimizer.SpaceAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpf, err := optimizer.Optimal(sizer, optimizer.SpaceCPF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal:     ", opt.Cost)
+	fmt.Println("cheapest CPF:", cpf.Cost)
+	fmt.Println("optimal is CPF:", opt.Tree.IsCPF(sizer.Hypergraph()))
+	// Output:
+	// optimal:      22427
+	// cheapest CPF: 26717
+	// optimal is CPF: false
+}
+
+// ExampleOptimalCPFccp shows the DPccp-driven CPF optimizer agreeing with
+// the subset-scanning formulation.
+func ExampleOptimalCPFccp() {
+	spec, err := workload.Example3(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizer, err := spec.AnalyticSizer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := optimizer.OptimalCPFccp(sizer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Cost)
+	// Output:
+	// 26717
+}

@@ -1,0 +1,98 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+// TopKCPF returns up to k cheapest Cartesian-product-free join expressions
+// over the database's scheme, cheapest first, by a k-best dynamic program
+// over connected subsets. Near-optimal alternatives matter in practice —
+// a plan one percent worse may pipeline better or reuse an existing index —
+// and they quantify how flat the optimum's neighbourhood is.
+//
+// The k plans are structurally distinct trees (join operand order is
+// canonicalized, so mirrored plans count once). k must be ≥ 1.
+func TopKCPF(c Sizer, k int) ([]Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("optimizer: k must be ≥ 1")
+	}
+	h := c.Hypergraph()
+	n := h.Len()
+	if n > MaxExactRelations {
+		return nil, fmt.Errorf("optimizer: %d relations exceeds the exact-search limit %d", n, MaxExactRelations)
+	}
+
+	type cell struct {
+		cost int64
+		tree *jointree.Tree
+	}
+	best := make(map[hypergraph.Mask][]cell, 1<<uint(n))
+
+	full := h.Full()
+	for mask := hypergraph.Mask(1); mask <= full; mask++ {
+		if mask.Count() == 1 {
+			i := mask.Indexes()[0]
+			best[mask] = []cell{{cost: leafSize(c, i), tree: jointree.NewLeaf(i)}}
+			continue
+		}
+		if !h.Connected(mask) {
+			continue
+		}
+		size, err := c.Size(mask)
+		if err != nil {
+			return nil, err
+		}
+		var cands []cell
+		seen := map[string]bool{}
+		for l := (mask - 1) & mask; l != 0; l = (l - 1) & mask {
+			r := mask &^ l
+			if l < r {
+				continue // each unordered partition once
+			}
+			ls, lok := best[l]
+			rs, rok := best[r]
+			if !lok || !rok {
+				continue
+			}
+			if !h.Overlapping(l, r) {
+				continue
+			}
+			for _, lc := range ls {
+				for _, rc := range rs {
+					tree := jointree.NewJoin(lc.tree, rc.tree)
+					key := tree.CanonUnordered()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					cands = append(cands, cell{
+						cost: satAdd(satAdd(lc.cost, rc.cost), size),
+						tree: tree,
+					})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		best[mask] = cands
+	}
+
+	roots, ok := best[full]
+	if !ok || len(roots) == 0 {
+		return nil, fmt.Errorf("optimizer: no plan in space %s (disconnected scheme?)", SpaceCPF)
+	}
+	out := make([]Plan, len(roots))
+	for i, c := range roots {
+		out[i] = Plan{Tree: c.tree, Cost: c.cost}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/workload"
+)
+
+func TestTopKCPFAgainstEnumeration(t *testing.T) {
+	spec, err := workload.Example3(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(db, 0)
+	h := cat.Hypergraph()
+
+	// Brute force: cost every CPF tree, dedupe mirrored operand orders,
+	// sort.
+	trees, err := jointree.AllCPFTrees(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int64{}
+	for _, tr := range trees {
+		key := tr.CanonUnordered()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = int64(tr.Cost(db))
+	}
+	var want []int64
+	for _, c := range seen {
+		want = append(want, c)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	const k = 7
+	plans, err := TopKCPF(cat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != k {
+		t.Fatalf("got %d plans, want %d", len(plans), k)
+	}
+	for i, p := range plans {
+		if p.Cost != want[i] {
+			t.Errorf("rank %d: cost %d, enumeration says %d", i+1, p.Cost, want[i])
+		}
+		if real := int64(p.Tree.Cost(db)); real != p.Cost {
+			t.Errorf("rank %d: claimed %d, tree costs %d", i+1, p.Cost, real)
+		}
+		if !p.Tree.IsCPF(h) {
+			t.Errorf("rank %d: not CPF", i+1)
+		}
+		if i > 0 && p.Cost < plans[i-1].Cost {
+			t.Error("plans not sorted")
+		}
+	}
+	// Distinctness up to operand order.
+	keys := map[string]bool{}
+	for _, p := range plans {
+		k := p.Tree.CanonUnordered()
+		if keys[k] {
+			t.Errorf("duplicate plan %s", k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestTopKCPFRankOneMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 15; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 2 + rng.Intn(4), Attrs: 5, MaxArity: 3, Connected: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(10), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := NewCatalog(db, 0)
+		plans, err := TopKCPF(cat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Optimal(cat, SpaceCPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plans[0].Cost != want.Cost {
+			t.Fatalf("trial %d: TopK(1) = %d, Optimal = %d", trial, plans[0].Cost, want.Cost)
+		}
+	}
+}
+
+func TestTopKCPFValidation(t *testing.T) {
+	spec, _ := workload.Example3(6)
+	sizer, err := spec.AnalyticSizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TopKCPF(sizer, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Asking for more plans than exist returns all of them.
+	plans, err := TopKCPF(sizer, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-cycle: 80 ordered CPF trees, with up to 2³ operand-order mirrors
+	// each → exactly 10 distinct plans (4 triples × 2 shapes + 2 opposite
+	// pair-pairings).
+	if len(plans) != 10 {
+		t.Errorf("plans = %d, want 10 distinct CPF plans over the 4-cycle", len(plans))
+	}
+	_ = hypergraph.Mask(0)
+}

@@ -1,0 +1,40 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramDOT(t *testing.T) {
+	p := example2Program()
+	dot := p.DOT("ex2")
+	for _, want := range []string{
+		`digraph "ex2" {`,
+		`label="R(ABC)"`,
+		`label="R(X) := R(ABC) ⋈ R(EFG)"`,
+		"in0 -> s0;",
+		"s0 -> s2;", // X defined by s0 read by s2
+		"s1 -> s2;", // Y defined by s1 read by s2
+		"s2 -> out;",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestProgramDOTInPlaceSemijoin(t *testing.T) {
+	p := &Program{
+		Inputs: []string{"ABC", "CDE"},
+		Stmts: []Stmt{
+			{Op: OpSemijoin, Head: "ABC", Arg1: "ABC", Arg2: "CDE"},
+			{Op: OpJoin, Head: "V", Arg1: "ABC", Arg2: "CDE"},
+		},
+		Output: "V",
+	}
+	dot := p.DOT("")
+	// The join must read the REDUCED ABC (s0), not the raw input.
+	if !strings.Contains(dot, "s0 -> s1;") {
+		t.Errorf("dataflow edge through in-place semijoin missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,57 @@
+package program_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/program"
+	"repro/internal/relation"
+)
+
+// ExampleParse reads a program in the paper's notation and validates it.
+func ExampleParse() {
+	text := `
+# reduce, then join everything in
+R(V) := R(AB) ⋉ R(BC)
+R(V) := R(V) ⋈ R(BC)
+`
+	p, err := program.Parse(text, []string{"AB", "BC"}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+	projects, joins, semijoins := p.OpCounts()
+	fmt.Printf("%d projections, %d joins, %d semijoins\n", projects, joins, semijoins)
+	// Output:
+	// R(V) := R(AB) ⋉ R(BC)
+	// R(V) := R(V) ⋈ R(BC)
+	// 0 projections, 1 joins, 1 semijoins
+}
+
+// ExampleProgram_Apply executes a program with the §2.3 cost accounting.
+func ExampleProgram_Apply() {
+	ab := relation.New(relation.SchemaOfRunes("AB"))
+	ab.MustInsert(relation.Ints(1, 10))
+	ab.MustInsert(relation.Ints(2, 20))
+	bc := relation.New(relation.SchemaOfRunes("BC"))
+	bc.MustInsert(relation.Ints(10, 7))
+	db := relation.MustDatabase(ab, bc)
+
+	p := &program.Program{
+		Inputs: []string{"AB", "BC"},
+		Stmts: []program.Stmt{
+			{Op: program.OpSemijoin, Head: "AB", Arg1: "AB", Arg2: "BC"},
+			{Op: program.OpJoin, Head: "V", Arg1: "AB", Arg2: "BC"},
+		},
+		Output: "V",
+	}
+	res, err := p.Apply(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", res.Output.Len(), "tuple(s)")
+	fmt.Println("cost:  ", res.Cost)
+	// Output:
+	// result: 1 tuple(s)
+	// cost:   5
+}

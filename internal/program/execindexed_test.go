@@ -1,0 +1,169 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// example6Program builds the paper's derived program by hand (this package
+// cannot import core).
+func example6Program() *Program {
+	return &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpSemijoin, Head: "V", Arg1: "ABC", Arg2: "CDE"},
+			{Op: OpProject, Head: "F", Arg1: "V", Proj: relation.NewAttrSet("C")},
+			{Op: OpJoin, Head: "F", Arg1: "F", Arg2: "CDE"},
+			{Op: OpProject, Head: "F", Arg1: "F", Proj: relation.NewAttrSet("C", "E")},
+			{Op: OpSemijoin, Head: "F", Arg1: "F", Arg2: "EFG"},
+			{Op: OpJoin, Head: "V", Arg1: "V", Arg2: "F"},
+			{Op: OpJoin, Head: "V", Arg1: "V", Arg2: "EFG"},
+			{Op: OpSemijoin, Head: "V", Arg1: "V", Arg2: "GHA"},
+			{Op: OpJoin, Head: "V", Arg1: "V", Arg2: "CDE"},
+			{Op: OpJoin, Head: "V", Arg1: "V", Arg2: "GHA"},
+		},
+		Output: "V",
+	}
+}
+
+func TestApplyIndexedMatchesApplyOnExample6(t *testing.T) {
+	db := paperDB(t)
+	p := example6Program()
+	plain, err := p.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := p.ApplyIndexed(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Output.Equal(indexed.Output) {
+		t.Error("outputs differ")
+	}
+	if plain.Cost != indexed.Cost {
+		t.Errorf("costs differ: %d vs %d (the cost model must not see the index)", plain.Cost, indexed.Cost)
+	}
+	if len(plain.Trace) != len(indexed.Trace) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range plain.Trace {
+		if plain.Trace[i].Size != indexed.Trace[i].Size {
+			t.Errorf("statement %d size differs: %d vs %d", i+1, plain.Trace[i].Size, indexed.Trace[i].Size)
+		}
+	}
+}
+
+func TestApplyIndexedReassignedOperandSafe(t *testing.T) {
+	// V is probed as Arg2 twice but is also a head — the executor must not
+	// reuse a stale index across the reassignment.
+	db := paperDB(t)
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpJoin, Head: "V", Arg1: "ABC", Arg2: "CDE"},
+			{Op: OpSemijoin, Head: "X", Arg1: "EFG", Arg2: "V"},
+			{Op: OpJoin, Head: "V", Arg1: "V", Arg2: "EFG"}, // V changes
+			{Op: OpSemijoin, Head: "Y", Arg1: "GHA", Arg2: "V"},
+			{Op: OpJoin, Head: "Z", Arg1: "X", Arg2: "Y"},
+			{Op: OpJoin, Head: "Z", Arg1: "Z", Arg2: "V"},
+			{Op: OpJoin, Head: "Z", Arg1: "Z", Arg2: "CDE"},
+			{Op: OpJoin, Head: "Z", Arg1: "Z", Arg2: "ABC"},
+		},
+		Output: "Z",
+	}
+	plain, err := p.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := p.ApplyIndexed(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Output.Equal(indexed.Output) {
+		t.Error("outputs differ with reassigned operand")
+	}
+}
+
+func TestApplyIndexedRandomizedAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	db := paperDB(t)
+	// Random well-formed programs over the paper inputs: chains of joins
+	// and semijoins through a single variable, probing random inputs.
+	names := []string{"ABC", "CDE", "EFG", "GHA"}
+	for trial := 0; trial < 50; trial++ {
+		p := &Program{Inputs: names, Output: "V"}
+		p.Stmts = append(p.Stmts, Stmt{Op: OpJoin, Head: "V", Arg1: names[rng.Intn(4)], Arg2: names[rng.Intn(4)]})
+		steps := 1 + rng.Intn(6)
+		for k := 0; k < steps; k++ {
+			op := OpJoin
+			if rng.Intn(2) == 0 {
+				op = OpSemijoin
+			}
+			p.Stmts = append(p.Stmts, Stmt{Op: op, Head: "V", Arg1: "V", Arg2: names[rng.Intn(4)]})
+		}
+		plain, err := p.Apply(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed, err := p.ApplyIndexed(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Output.Equal(indexed.Output) || plain.Cost != indexed.Cost {
+			t.Fatalf("trial %d: indexed execution diverged\n%s", trial, p)
+		}
+	}
+}
+
+func BenchmarkApplyVsApplyIndexed(b *testing.B) {
+	rng := rand.New(rand.NewSource(122))
+	mk := func(scheme string, n, domain int) *relation.Relation {
+		r := relation.New(relation.SchemaOfRunes(scheme))
+		for i := 0; i < n; i++ {
+			row := make(relation.Tuple, r.Schema().Len())
+			for c := range row {
+				row[c] = relation.Int(int64(rng.Intn(domain)))
+			}
+			r.MustInsert(row)
+		}
+		return r
+	}
+	// One large relation probed repeatedly by small ones: the shared index
+	// is built once instead of per-statement.
+	db := relation.MustDatabase(
+		mk("ABC", 2000, 400), mk("CDE", 200000, 400), mk("EFG", 2000, 400), mk("GHA", 2000, 400),
+	)
+	// Five probes of CDE on the same shared attribute C: the indexed
+	// executor builds the 200k-row index once (on the second probe) and
+	// reuses it.
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpSemijoin, Head: "V", Arg1: "ABC", Arg2: "CDE"},
+			{Op: OpProject, Head: "P", Arg1: "ABC", Proj: relation.NewAttrSet("A", "C")},
+			{Op: OpSemijoin, Head: "P", Arg1: "P", Arg2: "CDE"},
+			{Op: OpProject, Head: "Q", Arg1: "ABC", Proj: relation.NewAttrSet("B", "C")},
+			{Op: OpSemijoin, Head: "Q", Arg1: "Q", Arg2: "CDE"},
+			{Op: OpSemijoin, Head: "V", Arg1: "V", Arg2: "CDE"},
+			{Op: OpProject, Head: "S", Arg1: "ABC", Proj: relation.NewAttrSet("C")},
+			{Op: OpSemijoin, Head: "S", Arg1: "S", Arg2: "CDE"},
+		},
+		Output: "V",
+	}
+	b.Run("Apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Apply(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ApplyIndexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.ApplyIndexed(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

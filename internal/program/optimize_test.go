@@ -1,0 +1,112 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEliminateDeadRemovesUnusedStatement(t *testing.T) {
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpJoin, Head: "X", Arg1: "ABC", Arg2: "EFG"},
+			{Op: OpJoin, Head: "DEADVAR", Arg1: "CDE", Arg2: "GHA"}, // never read
+			{Op: OpJoin, Head: "Y", Arg1: "CDE", Arg2: "GHA"},
+			{Op: OpJoin, Head: "X", Arg1: "X", Arg2: "Y"},
+		},
+		Output: "X",
+	}
+	opt := p.EliminateDead()
+	if opt.Len() != 3 {
+		t.Fatalf("optimized program has %d statements, want 3:\n%s", opt.Len(), opt)
+	}
+	if dead := p.DeadStatements(); len(dead) != 1 || dead[0] != 1 {
+		t.Errorf("DeadStatements = %v, want [1]", dead)
+	}
+	db := paperDB(t)
+	want, err := p.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := opt.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Output.Equal(want.Output) {
+		t.Error("elimination changed the output")
+	}
+	if got.Cost >= want.Cost {
+		t.Errorf("elimination did not reduce cost: %d vs %d", got.Cost, want.Cost)
+	}
+}
+
+func TestEliminateDeadRemovesOverwrittenDefinition(t *testing.T) {
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpJoin, Head: "X", Arg1: "ABC", Arg2: "CDE"}, // overwritten before read
+			{Op: OpJoin, Head: "X", Arg1: "CDE", Arg2: "GHA"},
+		},
+		Output: "X",
+	}
+	opt := p.EliminateDead()
+	if opt.Len() != 1 {
+		t.Fatalf("optimized program has %d statements, want 1", opt.Len())
+	}
+	if opt.Stmts[0].Arg1 != "CDE" {
+		t.Error("kept the wrong definition")
+	}
+}
+
+func TestEliminateDeadKeepsInPlaceSemijoinChain(t *testing.T) {
+	// The in-place semijoin reads its head, so a reduce-then-use chain must
+	// survive intact.
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpSemijoin, Head: "ABC", Arg1: "ABC", Arg2: "CDE"},
+			{Op: OpSemijoin, Head: "ABC", Arg1: "ABC", Arg2: "GHA"},
+			{Op: OpJoin, Head: "V", Arg1: "ABC", Arg2: "CDE"},
+		},
+		Output: "V",
+	}
+	opt := p.EliminateDead()
+	if opt.Len() != 3 {
+		t.Fatalf("optimized program has %d statements, want 3:\n%s", opt.Len(), opt)
+	}
+}
+
+func TestEliminateDeadIdempotentOnCleanPrograms(t *testing.T) {
+	p := example2Program()
+	opt := p.EliminateDead()
+	if opt.Len() != p.Len() {
+		t.Errorf("clean program shrank from %d to %d statements", p.Len(), opt.Len())
+	}
+	if len(p.DeadStatements()) != 0 {
+		t.Error("clean program reported dead statements")
+	}
+}
+
+func TestEliminateDeadPreservesValidation(t *testing.T) {
+	p := &Program{
+		Inputs: []string{"ABC", "CDE", "EFG", "GHA"},
+		Stmts: []Stmt{
+			{Op: OpProject, Head: "P", Arg1: "ABC", Proj: relation.NewAttrSet("C")},
+			{Op: OpJoin, Head: "Q", Arg1: "P", Arg2: "CDE"},
+			{Op: OpProject, Head: "UNUSED", Arg1: "EFG", Proj: relation.NewAttrSet("E")},
+			{Op: OpSemijoin, Head: "Q", Arg1: "Q", Arg2: "GHA"},
+		},
+		Output: "Q",
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := p.EliminateDead()
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized program fails validation: %v", err)
+	}
+	if opt.Len() != 3 {
+		t.Errorf("optimized program has %d statements, want 3", opt.Len())
+	}
+}

@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV writes the relation as tab-separated text: a header line with the
+// attribute names, then one line per tuple in deterministic (sorted) order.
+// Integer values print bare; string values are prefixed with "s:" so the two
+// kinds round-trip unambiguously (an integer-looking string like "42" writes
+// as "s:42").
+func (r *Relation) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(r.schema.Attrs(), "\t") + "\n"); err != nil {
+		return err
+	}
+	for _, t := range r.SortedRows() {
+		cells := make([]string, len(t))
+		for i, v := range t {
+			cells[i] = encodeCell(v)
+		}
+		if _, err := bw.WriteString(strings.Join(cells, "\t") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeCell(v Value) string {
+	if v.Kind() == KindInt {
+		return strconv.FormatInt(v.AsInt(), 10)
+	}
+	return "s:" + v.AsString()
+}
+
+// ReadTSV reads a relation written by WriteTSV (or hand-authored in the same
+// format): the first line names the attributes; each further non-empty line
+// is one tuple. Cells parse as integers unless prefixed with "s:", which
+// strips the prefix and yields a string value. Duplicate tuples collapse.
+func ReadTSV(rd io.Reader) (*Relation, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("relation: empty TSV input")
+	}
+	header := strings.Split(strings.TrimRight(sc.Text(), "\r\n"), "\t")
+	schema, err := NewSchema(header...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: bad TSV header: %v", err)
+	}
+	out := New(schema)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if len(cells) != schema.Len() {
+			return nil, fmt.Errorf("relation: line %d has %d cells, want %d", lineNo, len(cells), schema.Len())
+		}
+		row := make(Tuple, len(cells))
+		for i, c := range cells {
+			v, err := decodeCell(c)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d: %v", lineNo, err)
+			}
+			row[i] = v
+		}
+		out.MustInsert(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeCell(c string) (Value, error) {
+	if strings.HasPrefix(c, "s:") {
+		return String(c[2:]), nil
+	}
+	n, err := strconv.ParseInt(c, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("bad integer cell %q (string values need the s: prefix)", c)
+	}
+	return Int(n), nil
+}

@@ -1,0 +1,109 @@
+package relation
+
+import "fmt"
+
+// Index is a hash index over a subset of a relation's attributes. Building
+// one costs a single scan; lookups are O(matches). Programs that semijoin
+// or join against the same relation repeatedly (full reducers, Algorithm 2
+// programs that reuse an input several times) amortize the build across the
+// probes.
+//
+// The index holds a reference to the relation's tuples at build time;
+// inserting into the relation afterwards does not update the index — build
+// indexes on relations you are done mutating.
+type Index struct {
+	rel     *Relation
+	attrs   AttrSet
+	pos     []int
+	buckets map[string][]Tuple
+}
+
+// NewIndex builds a hash index on r over attrs, which must be a nonempty
+// subset of r's schema.
+func NewIndex(r *Relation, attrs AttrSet) (*Index, error) {
+	if attrs.IsEmpty() {
+		return nil, fmt.Errorf("relation: index needs at least one attribute")
+	}
+	if !r.Schema().AttrSet().ContainsAll(attrs) {
+		return nil, fmt.Errorf("relation: index attributes %s not all in schema %s", attrs, r.Schema())
+	}
+	pos, _ := r.Schema().Positions(attrs)
+	ix := &Index{
+		rel:     r,
+		attrs:   attrs,
+		pos:     pos,
+		buckets: make(map[string][]Tuple, r.Len()),
+	}
+	for _, t := range r.rows {
+		k := t.keyAt(pos)
+		ix.buckets[k] = append(ix.buckets[k], t)
+	}
+	return ix, nil
+}
+
+// Relation returns the indexed relation.
+func (ix *Index) Relation() *Relation { return ix.rel }
+
+// Attrs returns the indexed attribute set.
+func (ix *Index) Attrs() AttrSet { return ix.attrs }
+
+// Lookup returns the tuples whose indexed attributes equal key, which must
+// list one value per indexed attribute in the index's (sorted) attribute
+// order. The returned slice must not be modified.
+func (ix *Index) Lookup(key Tuple) ([]Tuple, error) {
+	if len(key) != len(ix.pos) {
+		return nil, fmt.Errorf("relation: lookup key has %d values, index has %d attributes", len(key), len(ix.pos))
+	}
+	return ix.buckets[key.key()], nil
+}
+
+// Contains reports whether any tuple matches the key.
+func (ix *Index) Contains(key Tuple) (bool, error) {
+	ts, err := ix.Lookup(key)
+	if err != nil {
+		return false, err
+	}
+	return len(ts) > 0, nil
+}
+
+// JoinWithIndex joins l against the indexed relation, probing the index.
+// The index must cover exactly the attributes l shares with the indexed
+// relation (otherwise matches would be missed or spurious). The result
+// equals Join(l, ix.Relation()).
+func JoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
+	common := l.Schema().AttrSet().Intersect(ix.rel.Schema().AttrSet())
+	if !common.Equal(ix.attrs) {
+		return nil, fmt.Errorf("relation: index on %s cannot drive a join on %s", ix.attrs, common)
+	}
+	lPos, _ := l.Schema().Positions(common)
+	var rOnlyPos []int
+	for i, a := range ix.rel.Schema().Attrs() {
+		if !l.Schema().Has(a) {
+			rOnlyPos = append(rOnlyPos, i)
+		}
+	}
+	out := New(joinSchema(l.Schema(), ix.rel.Schema()))
+	for _, lt := range l.rows {
+		for _, rt := range ix.buckets[lt.keyAt(lPos)] {
+			out.appendJoined(lt, rt, rOnlyPos)
+		}
+	}
+	return out, nil
+}
+
+// SemijoinWithIndex computes l ⋉ ix.Relation() by probing the index; the
+// index must cover exactly the shared attributes.
+func SemijoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
+	common := l.Schema().AttrSet().Intersect(ix.rel.Schema().AttrSet())
+	if !common.Equal(ix.attrs) {
+		return nil, fmt.Errorf("relation: index on %s cannot drive a semijoin on %s", ix.attrs, common)
+	}
+	lPos, _ := l.Schema().Positions(common)
+	out := New(l.Schema())
+	for _, lt := range l.rows {
+		if len(ix.buckets[lt.keyAt(lPos)]) > 0 {
+			out.MustInsert(lt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexLookup(t *testing.T) {
+	r := mkRel(t, "ABC",
+		[]int64{1, 10, 100},
+		[]int64{1, 11, 100},
+		[]int64{2, 20, 200},
+	)
+	ix, err := NewIndex(r, NewAttrSet("A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Lookup(Ints(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("Lookup(1,100) = %d tuples, want 2", len(got))
+	}
+	got, err = ix.Lookup(Ints(9, 9))
+	if err != nil || len(got) != 0 {
+		t.Errorf("missing key returned %d tuples, err %v", len(got), err)
+	}
+	if _, err := ix.Lookup(Ints(1)); err == nil {
+		t.Error("wrong key arity accepted")
+	}
+	if ok, _ := ix.Contains(Ints(2, 200)); !ok {
+		t.Error("Contains missed an existing key")
+	}
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	r := mkRel(t, "AB", []int64{1, 2})
+	if _, err := NewIndex(r, nil); err == nil {
+		t.Error("empty attribute set accepted")
+	}
+	if _, err := NewIndex(r, NewAttrSet("Z")); err == nil {
+		t.Error("foreign attribute accepted")
+	}
+}
+
+func TestJoinWithIndexMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		l := randRel(rng, "ABC", rng.Intn(25), 3)
+		r := randRel(rng, "BCD", rng.Intn(25), 3)
+		ix, err := NewIndex(r, NewAttrSet("B", "C"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := JoinWithIndex(l, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Join(l, r); !got.Equal(want) {
+			t.Fatalf("trial %d: indexed join disagrees", trial)
+		}
+	}
+}
+
+func TestSemijoinWithIndexMatchesSemijoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 100; trial++ {
+		l := randRel(rng, "AB", rng.Intn(25), 3)
+		r := randRel(rng, "BC", rng.Intn(25), 3)
+		ix, err := NewIndex(r, NewAttrSet("B"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SemijoinWithIndex(l, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Semijoin(l, r); !got.Equal(want) {
+			t.Fatalf("trial %d: indexed semijoin disagrees", trial)
+		}
+	}
+}
+
+func TestIndexAttributeMismatchRejected(t *testing.T) {
+	l := mkRel(t, "ABC", []int64{1, 2, 3})
+	r := mkRel(t, "BCD", []int64{2, 3, 4})
+	// Index on B only, but the join needs {B, C}: must refuse rather than
+	// return wrong answers.
+	ix, err := NewIndex(r, NewAttrSet("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinWithIndex(l, ix); err == nil {
+		t.Error("under-covering index accepted for join")
+	}
+	if _, err := SemijoinWithIndex(l, ix); err == nil {
+		t.Error("under-covering index accepted for semijoin")
+	}
+}
+
+func BenchmarkIndexedSemijoinReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(103))
+	big := randRel(rng, "BC", 50000, 5000)
+	probes := make([]*Relation, 8)
+	for i := range probes {
+		probes[i] = randRel(rng, "AB", 2000, 5000)
+	}
+	b.Run("rebuildPerProbe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range probes {
+				Semijoin(p, big)
+			}
+		}
+	})
+	b.Run("sharedIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix, err := NewIndex(big, NewAttrSet("B"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range probes {
+				if _, err := SemijoinWithIndex(p, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

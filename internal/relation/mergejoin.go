@@ -1,0 +1,88 @@
+package relation
+
+import "sort"
+
+// MergeJoin computes the natural join l ⋈ r with a sort-merge strategy: both
+// inputs are sorted on their common attributes and scanned once, pairing
+// equal-key runs. It produces exactly the same relation as Join (the hash
+// join); engines pick between the two by workload — merge join avoids the
+// hash table and behaves better when inputs are already sorted or memory is
+// tight, at the price of the two sorts.
+//
+// With no common attributes it degenerates to the Cartesian product, like
+// Join.
+func MergeJoin(l, r *Relation) *Relation {
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	out := New(joinSchema(l.schema, r.schema))
+
+	var rOnlyPos []int
+	for i, a := range r.schema.Attrs() {
+		if !l.schema.Has(a) {
+			rOnlyPos = append(rOnlyPos, i)
+		}
+	}
+
+	if common.IsEmpty() {
+		for _, lt := range l.rows {
+			for _, rt := range r.rows {
+				out.appendJoined(lt, rt, rOnlyPos)
+			}
+		}
+		return out
+	}
+
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+
+	ls := sortedByKey(l.rows, lPos)
+	rs := sortedByKey(r.rows, rPos)
+
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		c := compareAt(ls[i], lPos, rs[j], rPos)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the equal-key runs on both sides.
+			i2 := i + 1
+			for i2 < len(ls) && compareAt(ls[i2], lPos, ls[i], lPos) == 0 {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(rs) && compareAt(rs[j2], rPos, rs[j], rPos) == 0 {
+				j2++
+			}
+			for x := i; x < i2; x++ {
+				for y := j; y < j2; y++ {
+					out.appendJoined(ls[x], rs[y], rOnlyPos)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+// sortedByKey returns the rows sorted by the projection onto pos (the input
+// slice is not modified).
+func sortedByKey(rows []Tuple, pos []int) []Tuple {
+	out := append([]Tuple(nil), rows...)
+	sort.SliceStable(out, func(a, b int) bool {
+		return compareAt(out[a], pos, out[b], pos) < 0
+	})
+	return out
+}
+
+// compareAt orders two tuples by their projections onto the given column
+// positions.
+func compareAt(a Tuple, aPos []int, b Tuple, bPos []int) int {
+	for k := range aPos {
+		if c := a[aPos[k]].Compare(b[bPos[k]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,298 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// Join computes the natural join l ⋈ r. The output schema is l's columns
+// followed by r's columns that are not in l. When the schemas share no
+// attributes the result is the Cartesian product, matching the paper's
+// convention that ⋈ degenerates to ×.
+//
+// Implementation: classic hash join. The smaller input is hashed on the
+// common attributes; the larger side probes. With no common attributes the
+// nested product is produced directly.
+func Join(l, r *Relation) *Relation {
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	outSchema := joinSchema(l.schema, r.schema)
+	out := New(outSchema)
+
+	// Columns of r absent from l, in r's column order — the same order
+	// joinSchema appends them to the output schema.
+	var rOnlyPos []int
+	for i, a := range r.schema.Attrs() {
+		if !l.schema.Has(a) {
+			rOnlyPos = append(rOnlyPos, i)
+		}
+	}
+
+	if common.IsEmpty() {
+		for _, lt := range l.rows {
+			for _, rt := range r.rows {
+				out.appendJoined(lt, rt, rOnlyPos)
+			}
+		}
+		return out
+	}
+
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+
+	// Hash the smaller side. If r is smaller we still emit columns in
+	// (l, r-only) order, so the build/probe roles swap but the output does
+	// not.
+	if l.Len() <= r.Len() {
+		ht := make(map[string][]Tuple, l.Len())
+		for _, lt := range l.rows {
+			k := lt.keyAt(lPos)
+			ht[k] = append(ht[k], lt)
+		}
+		for _, rt := range r.rows {
+			for _, lt := range ht[rt.keyAt(rPos)] {
+				out.appendJoined(lt, rt, rOnlyPos)
+			}
+		}
+	} else {
+		ht := make(map[string][]Tuple, r.Len())
+		for _, rt := range r.rows {
+			k := rt.keyAt(rPos)
+			ht[k] = append(ht[k], rt)
+		}
+		for _, lt := range l.rows {
+			for _, rt := range ht[lt.keyAt(lPos)] {
+				out.appendJoined(lt, rt, rOnlyPos)
+			}
+		}
+	}
+	return out
+}
+
+// appendJoined concatenates lt with rt's rOnlyPos columns and inserts the
+// result. Join of set inputs cannot create duplicates, so this bypasses the
+// dedup map lookup cost only conceptually — Insert is still used for safety.
+func (out *Relation) appendJoined(lt, rt Tuple, rOnlyPos []int) {
+	row := make(Tuple, 0, len(lt)+len(rOnlyPos))
+	row = append(row, lt...)
+	for _, p := range rOnlyPos {
+		row = append(row, rt[p])
+	}
+	out.MustInsert(row)
+}
+
+// joinSchema is l's columns followed by r's columns not in l.
+func joinSchema(l, r *Schema) *Schema {
+	attrs := append([]string(nil), l.Attrs()...)
+	for _, a := range r.Attrs() {
+		if !l.Has(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	return MustSchema(attrs...)
+}
+
+// CrossProduct computes l × r. It requires the schemas to be disjoint and
+// otherwise behaves like Join; callers that want the degenerate-join
+// behaviour should call Join directly.
+func CrossProduct(l, r *Relation) (*Relation, error) {
+	if l.schema.AttrSet().Overlaps(r.schema.AttrSet()) {
+		return nil, fmt.Errorf("relation: cross product operands share attributes %s",
+			l.schema.AttrSet().Intersect(r.schema.AttrSet()))
+	}
+	return Join(l, r), nil
+}
+
+// Semijoin computes l ⋉ r: the tuples of l that join with at least one tuple
+// of r. The output schema is l's schema. With no common attributes, the
+// result is l itself if r is nonempty and empty otherwise (the degenerate
+// semantics of ⋉ as π_l(l ⋈ r)).
+func Semijoin(l, r *Relation) *Relation {
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	out := New(l.schema)
+	if common.IsEmpty() {
+		if r.Len() > 0 {
+			for _, lt := range l.rows {
+				out.MustInsert(lt)
+			}
+		}
+		return out
+	}
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+	if l.Len() <= r.Len() {
+		// Hash the smaller (left) side: collect l's keys, scan r marking
+		// which have support, then emit the supported l tuples. The map
+		// stays |l|-sized even when r is huge.
+		support := make(map[string]bool, l.Len())
+		for _, lt := range l.rows {
+			support[lt.keyAt(lPos)] = false
+		}
+		for _, rt := range r.rows {
+			k := rt.keyAt(rPos)
+			if _, interesting := support[k]; interesting {
+				support[k] = true
+			}
+		}
+		for _, lt := range l.rows {
+			if support[lt.keyAt(lPos)] {
+				out.MustInsert(lt)
+			}
+		}
+		return out
+	}
+	keys := make(map[string]struct{}, r.Len())
+	for _, rt := range r.rows {
+		keys[rt.keyAt(rPos)] = struct{}{}
+	}
+	for _, lt := range l.rows {
+		if _, ok := keys[lt.keyAt(lPos)]; ok {
+			out.MustInsert(lt)
+		}
+	}
+	return out
+}
+
+// Antijoin computes l ▷ r: the tuples of l that join with no tuple of r.
+func Antijoin(l, r *Relation) *Relation {
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	out := New(l.schema)
+	if common.IsEmpty() {
+		if r.Len() == 0 {
+			for _, lt := range l.rows {
+				out.MustInsert(lt)
+			}
+		}
+		return out
+	}
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+	keys := make(map[string]struct{}, r.Len())
+	for _, rt := range r.rows {
+		keys[rt.keyAt(rPos)] = struct{}{}
+	}
+	for _, lt := range l.rows {
+		if _, ok := keys[lt.keyAt(lPos)]; !ok {
+			out.MustInsert(lt)
+		}
+	}
+	return out
+}
+
+// Project computes π_attrs(r), deduplicating. The attrs must all belong to
+// r's schema; the output column order is the sorted attribute order.
+func Project(r *Relation, attrs AttrSet) (*Relation, error) {
+	if !r.schema.AttrSet().ContainsAll(attrs) {
+		return nil, fmt.Errorf("relation: projection attributes %s not all in schema %s",
+			attrs, r.schema)
+	}
+	pos, _ := r.schema.Positions(attrs)
+	out := New(MustSchema(attrs...))
+	for _, t := range r.rows {
+		row := make(Tuple, len(pos))
+		for i, p := range pos {
+			row[i] = t[p]
+		}
+		out.MustInsert(row)
+	}
+	return out, nil
+}
+
+// MustProject is Project that panics on error.
+func MustProject(r *Relation, attrs AttrSet) *Relation {
+	out, err := Project(r, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Select returns the tuples of r satisfying pred.
+func Select(r *Relation, pred func(*Schema, Tuple) bool) *Relation {
+	out := New(r.schema)
+	for _, t := range r.rows {
+		if pred(r.schema, t) {
+			out.MustInsert(t)
+		}
+	}
+	return out
+}
+
+// Union computes l ∪ r; the schemas must be set-equal. Columns of r are
+// permuted to l's order.
+func Union(l, r *Relation) (*Relation, error) {
+	if !l.schema.AttrSet().Equal(r.schema.AttrSet()) {
+		return nil, fmt.Errorf("relation: union of incompatible schemas %s and %s", l.schema, r.schema)
+	}
+	out := l.Clone()
+	pos, _ := r.schema.Positions(l.schema.Attrs())
+	for _, t := range r.rows {
+		row := make(Tuple, len(pos))
+		for i, p := range pos {
+			row[i] = t[p]
+		}
+		out.MustInsert(row)
+	}
+	return out, nil
+}
+
+// Diff computes l − r; the schemas must be set-equal.
+func Diff(l, r *Relation) (*Relation, error) {
+	if !l.schema.AttrSet().Equal(r.schema.AttrSet()) {
+		return nil, fmt.Errorf("relation: difference of incompatible schemas %s and %s", l.schema, r.schema)
+	}
+	pos, _ := r.schema.Positions(l.schema.Attrs())
+	keys := make(map[string]struct{}, r.Len())
+	for _, t := range r.rows {
+		row := make(Tuple, len(pos))
+		for i, p := range pos {
+			row[i] = t[p]
+		}
+		keys[row.key()] = struct{}{}
+	}
+	out := New(l.schema)
+	for _, t := range l.rows {
+		if _, ok := keys[t.key()]; !ok {
+			out.MustInsert(t)
+		}
+	}
+	return out, nil
+}
+
+// JoinAll folds Join over the given relations left to right; it returns an
+// error when called with no relations. JoinAll of one relation returns it
+// unchanged.
+func JoinAll(rels ...*Relation) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relation: JoinAll of zero relations")
+	}
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = Join(acc, r)
+	}
+	return acc, nil
+}
+
+// Rename returns a copy of r with attributes renamed per the mapping (the
+// classical ρ operator). Attributes absent from the mapping keep their
+// names; the mapping must not target an existing or duplicate name. Tuples
+// are shared with the input (values are immutable).
+func Rename(r *Relation, mapping map[string]string) (*Relation, error) {
+	attrs := make([]string, r.Schema().Len())
+	for i, a := range r.Schema().Attrs() {
+		if to, ok := mapping[a]; ok {
+			attrs[i] = to
+		} else {
+			attrs[i] = a
+		}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: rename: %v", err)
+	}
+	for from := range mapping {
+		if !r.Schema().Has(from) {
+			return nil, fmt.Errorf("relation: rename of missing attribute %q", from)
+		}
+	}
+	out := &Relation{schema: schema, rows: r.rows, seen: r.seen}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the input size below which ParallelJoin falls back
+// to the sequential hash join; goroutine and partitioning overhead dominate
+// on small inputs.
+const parallelThreshold = 4096
+
+// ParallelJoin computes the natural join l ⋈ r using up to workers
+// goroutines (0 means GOMAXPROCS). Both inputs are hash-partitioned on
+// their common attributes; each partition pair is joined independently and
+// the results concatenated — matching tuples always share a key, so they
+// land in the same partition and the partitions' outputs are disjoint.
+//
+// The result equals Join(l, r) exactly. With no common attributes the left
+// input is split into chunks instead (a parallel Cartesian product).
+func ParallelJoin(l, r *Relation, workers int) *Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || l.Len()+r.Len() < parallelThreshold {
+		return Join(l, r)
+	}
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	if common.IsEmpty() {
+		return parallelProduct(l, r, workers)
+	}
+
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+
+	lParts := partitionByKey(l.rows, lPos, workers)
+	rParts := partitionByKey(r.rows, rPos, workers)
+
+	results := make([]*Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lp, _ := NewFromRows(l.schema, lParts[w])
+			rp, _ := NewFromRows(r.schema, rParts[w])
+			results[w] = Join(lp, rp)
+		}(w)
+	}
+	wg.Wait()
+	return concatDisjoint(joinSchema(l.schema, r.schema), results)
+}
+
+// partitionByKey splits rows into n buckets by the FNV hash of their key
+// columns.
+func partitionByKey(rows []Tuple, pos []int, n int) [][]Tuple {
+	parts := make([][]Tuple, n)
+	var buf []byte
+	for _, t := range rows {
+		buf = buf[:0]
+		for _, p := range pos {
+			buf = t[p].appendKey(buf)
+		}
+		h := fnv.New32a()
+		h.Write(buf)
+		parts[h.Sum32()%uint32(n)] = append(parts[h.Sum32()%uint32(n)], t)
+	}
+	return parts
+}
+
+// parallelProduct splits l into chunks and cross-joins each with r.
+func parallelProduct(l, r *Relation, workers int) *Relation {
+	chunk := (l.Len() + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var tasks [][]Tuple
+	for i := 0; i < l.Len(); i += chunk {
+		end := i + chunk
+		if end > l.Len() {
+			end = l.Len()
+		}
+		tasks = append(tasks, l.rows[i:end])
+	}
+	results := make([]*Relation, len(tasks))
+	var wg sync.WaitGroup
+	for w := range tasks {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lp, _ := NewFromRows(l.schema, tasks[w])
+			results[w] = Join(lp, r)
+		}(w)
+	}
+	wg.Wait()
+	return concatDisjoint(joinSchema(l.schema, r.schema), results)
+}
+
+// concatDisjoint merges partition results whose tuple sets are pairwise
+// disjoint (guaranteed by key partitioning / chunking of distinct rows), so
+// rows append without re-checking the dedup map per row beyond registering
+// the keys.
+func concatDisjoint(schema *Schema, parts []*Relation) *Relation {
+	out := New(schema)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, t := range p.rows {
+			out.rows = append(out.rows, t)
+		}
+		for k := range p.seen {
+			out.seen[k] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of values laid out according to some Schema's column order.
+type Tuple []Value
+
+// Ints builds a tuple of integer values; convenient for generators and tests.
+func Ints(vs ...int64) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Int(v)
+	}
+	return t
+}
+
+// Strs builds a tuple of string values.
+func Strs(vs ...string) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = String(v)
+	}
+	return t
+}
+
+// Equal reports whether two tuples have the same length and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// key returns the injective byte encoding of the whole tuple.
+func (t Tuple) key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = v.appendKey(buf)
+	}
+	return string(buf)
+}
+
+// keyAt returns the injective byte encoding of the tuple restricted to the
+// given column positions, in the order given.
+func (t Tuple) keyAt(pos []int) string {
+	var buf []byte
+	for _, p := range pos {
+		buf = t[p].appendKey(buf)
+	}
+	return string(buf)
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a set of tuples over a Schema. The zero value is not usable;
+// construct with New. Tuples are deduplicated on insertion, so Len is always
+// a set cardinality — the quantity the paper's cost model counts.
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+	seen   map[string]struct{}
+}
+
+// New returns an empty relation over the given schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema, seen: make(map[string]struct{})}
+}
+
+// NewFromRows returns a relation over schema containing the given rows
+// (deduplicated). It returns an error on an arity mismatch.
+func NewFromRows(schema *Schema, rows []Tuple) (*Relation, error) {
+	r := New(schema)
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of (distinct) tuples — |R| in the paper's notation.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// IsEmpty reports whether the relation has no tuples.
+func (r *Relation) IsEmpty() bool { return len(r.rows) == 0 }
+
+// Rows returns the underlying tuples. Callers must not modify the returned
+// slice or its tuples.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Insert adds a tuple, ignoring duplicates. It returns an error if the
+// tuple's arity does not match the schema.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation: tuple arity %d does not match schema %s (arity %d)",
+			len(t), r.schema, r.schema.Len())
+	}
+	k := t.key()
+	if _, dup := r.seen[k]; dup {
+		return nil
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustInsert is Insert that panics on arity mismatch; for generators whose
+// arity is correct by construction.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the relation holds the given tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.schema.Len() {
+		return false
+	}
+	_, ok := r.seen[t.key()]
+	return ok
+}
+
+// Clone returns a deep-enough copy: the row slice and dedup set are copied;
+// tuples are shared (they are treated as immutable).
+func (r *Relation) Clone() *Relation {
+	c := &Relation{
+		schema: r.schema,
+		rows:   append([]Tuple(nil), r.rows...),
+		seen:   make(map[string]struct{}, len(r.seen)),
+	}
+	for k := range r.seen {
+		c.seen[k] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether r and s are the same set of tuples over set-equal
+// schemas (column order may differ; values are compared by attribute name).
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.schema.AttrSet().Equal(s.schema.AttrSet()) {
+		return false
+	}
+	if r.Len() != s.Len() {
+		return false
+	}
+	// Reorder s's columns to r's order, then test membership.
+	pos, err := s.schema.Positions(r.schema.Attrs())
+	if err != nil {
+		return false
+	}
+	for _, row := range s.rows {
+		re := make(Tuple, len(pos))
+		for i, p := range pos {
+			re[i] = row[p]
+		}
+		if !r.Contains(re) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedRows returns the tuples in lexicographic order; for deterministic
+// output in tests, goldens, and printing.
+func (r *Relation) SortedRows() []Tuple {
+	out := append([]Tuple(nil), r.rows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the relation as a small table; intended for debugging and
+// examples, not for large relations.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%d tuples]", r.schema, r.Len())
+	const maxShown = 20
+	rows := r.SortedRows()
+	for i, t := range rows {
+		if i == maxShown {
+			fmt.Fprintf(&b, "\n  ... (%d more)", len(rows)-maxShown)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

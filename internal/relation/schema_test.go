@@ -1,0 +1,98 @@
+package relation
+
+import "testing"
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("A", "B", "C")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Len() != 3 || s.Attr(0) != "A" || s.Attr(2) != "C" {
+		t.Errorf("schema layout wrong: %v", s.Attrs())
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	if _, err := NewSchema("A", "B", "A"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on bad input")
+		}
+	}()
+	MustSchema("A", "A")
+}
+
+func TestSchemaOfRunes(t *testing.T) {
+	s := SchemaOfRunes("GHA")
+	if s.Len() != 3 || s.Attr(0) != "G" || s.Attr(1) != "H" || s.Attr(2) != "A" {
+		t.Errorf("SchemaOfRunes(GHA) = %v", s.Attrs())
+	}
+}
+
+func TestSchemaPosition(t *testing.T) {
+	s := MustSchema("X", "Y")
+	if p, ok := s.Position("Y"); !ok || p != 1 {
+		t.Errorf("Position(Y) = %d, %v", p, ok)
+	}
+	if _, ok := s.Position("Z"); ok {
+		t.Error("Position(Z) should be missing")
+	}
+	if !s.Has("X") || s.Has("Z") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema("A", "B")
+	b := MustSchema("A", "B")
+	c := MustSchema("B", "A")
+	if !a.Equal(b) {
+		t.Error("identical schemas unequal")
+	}
+	if a.Equal(c) {
+		t.Error("order-different schemas equal")
+	}
+	if !a.EqualSet(c) {
+		t.Error("order-different schemas not set-equal")
+	}
+}
+
+func TestSchemaPositions(t *testing.T) {
+	s := MustSchema("A", "B", "C")
+	got, err := s.Positions([]string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 0 {
+		t.Errorf("Positions = %v", got)
+	}
+	if _, err := s.Positions([]string{"Z"}); err == nil {
+		t.Error("missing attribute accepted")
+	}
+}
+
+func TestCommonPositions(t *testing.T) {
+	l := MustSchema("A", "B", "C")
+	r := SchemaOfRunes("GHA") // G, H, A
+	inL, inR := CommonPositions(l, r)
+	if len(inL) != 1 || inL[0] != 0 || inR[0] != 2 {
+		t.Errorf("CommonPositions = %v %v", inL, inR)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	if got := SchemaOfRunes("GHA").String(); got != "GHA" {
+		t.Errorf("String = %q, want GHA (column order preserved)", got)
+	}
+	if got := MustSchema("city", "year").String(); got != "(city,year)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// manifestName is the file listing a stored database's relations in scheme
+// order.
+const manifestName = "MANIFEST"
+
+// WriteDatabase stores the database under dir: one TSV file per relation
+// plus a MANIFEST listing the files in scheme order. The directory is
+// created if needed; existing files with the same names are overwritten.
+func WriteDatabase(db *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest strings.Builder
+	for i := 0; i < db.Len(); i++ {
+		rel := db.Relation(i)
+		name := fmt.Sprintf("r%02d_%s.tsv", i+1, fileSafe(rel.Schema().String()))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := rel.WriteTSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		manifest.WriteString(name + "\n")
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest.String()), 0o644)
+}
+
+// ReadDatabase loads a database stored by WriteDatabase.
+func ReadDatabase(dir string) (*Database, error) {
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("relation: no database manifest in %s: %v", dir, err)
+	}
+	defer mf.Close()
+	var rels []*Relation
+	sc := bufio.NewScanner(mf)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name == "" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ReadTSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("relation: %s: %v", name, err)
+		}
+		rels = append(rels, rel)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewDatabase(rels...)
+}
+
+// fileSafe maps a schema string to a file-name-safe fragment.
+func fileSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '(', ')', ',', ' ', '/':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,50 @@
+package relation
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadDatabase(t *testing.T) {
+	dir := t.TempDir()
+	r1 := New(SchemaOfRunes("AB"))
+	r1.MustInsert(Ints(1, 2))
+	r1.MustInsert(Ints(3, 4))
+	r2 := New(MustSchema("B", "name"))
+	r2.MustInsert(Tuple{Int(2), String("x")})
+	db := MustDatabase(r1, r2)
+
+	if err := WriteDatabase(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatabase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d relations", back.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if !back.Relation(i).Equal(db.Relation(i)) {
+			t.Errorf("relation %d changed across store round trip", i)
+		}
+	}
+	// Scheme order preserved.
+	if !back.Relation(0).Schema().AttrSet().Equal(AttrSetOfRunes("AB")) {
+		t.Error("relation order not preserved")
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	if _, err := ReadDatabase(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("missing.tsv\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatabase(dir); err == nil {
+		t.Error("missing relation file accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypergraph"
+)
+
+// sizerInfinite mirrors the optimizer package's saturation sentinel so the
+// analytic sizer and the measuring catalog agree on overflow behaviour
+// (workload cannot import optimizer: the optimizer's tests import workload).
+const sizerInfinite = math.MaxInt64 / 4
+
+// CycleSizer answers |⋈D[S]| queries for the Example-3 cycle family in
+// closed form, with no data materialized. It implements the optimizer
+// package's Sizer interface, so the exact dynamic programs can optimize
+// paper-scale instances (q = 10^k for any k) that could never be evaluated.
+//
+// The formulas: a connected subset of a cycle scheme is an arc of
+// consecutive relations i..j. Within an arc, the shared link attributes
+// chain every relation to the same Z_M orbit, so the arc's join has
+// M·Π payloads tuples from Z_M plus the single Bottom tuple — unless the arc
+// is the whole cycle, where the Z_M part vanishes (the twisted link admits
+// no solution) leaving exactly the Bottom tuple. A disconnected subset's
+// size is the product of its arcs' sizes.
+type CycleSizer struct {
+	spec CycleSpec
+	h    *hypergraph.Hypergraph
+}
+
+// AnalyticSizer returns the closed-form sizer for the family.
+func (s CycleSpec) AnalyticSizer() (*CycleSizer, error) {
+	h, err := s.CycleScheme()
+	if err != nil {
+		return nil, err
+	}
+	return &CycleSizer{spec: s, h: h}, nil
+}
+
+// Hypergraph returns the family's scheme.
+func (cs *CycleSizer) Hypergraph() *hypergraph.Hypergraph { return cs.h }
+
+// Size returns |⋈D[S]| exactly (saturating at the optimizer's Infinite).
+func (cs *CycleSizer) Size(mask hypergraph.Mask) (int64, error) {
+	if mask == 0 {
+		return 0, fmt.Errorf("workload: size of the empty subset")
+	}
+	if mask == cs.h.Full() {
+		return 1, nil // only the Bottom tuple closes the cycle
+	}
+	total := int64(1)
+	for _, comp := range cs.h.Components(mask) {
+		total = sizerMul(total, cs.arcSize(comp))
+	}
+	return total, nil
+}
+
+// arcSize is M·Π payloads + 1 for a (proper) arc of the cycle.
+func (cs *CycleSizer) arcSize(comp hypergraph.Mask) int64 {
+	size := cs.spec.M
+	for _, i := range comp.Indexes() {
+		size = sizerMul(size, cs.spec.Payloads[i])
+	}
+	if size >= sizerInfinite {
+		return sizerInfinite
+	}
+	return size + 1
+}
+
+func sizerMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a >= sizerInfinite || b >= sizerInfinite || a > sizerInfinite/b {
+		return sizerInfinite
+	}
+	return a * b
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// ZipfDatabase fills each relation of the scheme with up to size tuples
+// whose attribute values follow a Zipf distribution over [0, domain): a few
+// heavy values dominate, the tail is long. s > 1 controls the skew (larger
+// = more skewed). Skewed data is where independence-assumption estimators
+// go wrong and where join orders matter most.
+func ZipfDatabase(rng *rand.Rand, h *hypergraph.Hypergraph, size, domain int, s float64) (*relation.Database, error) {
+	if size < 0 || domain < 1 {
+		return nil, fmt.Errorf("workload: need size ≥ 0 and domain ≥ 1")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", s)
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	rels := make([]*relation.Relation, h.Len())
+	for i := 0; i < h.Len(); i++ {
+		schema := relation.MustSchema(h.Edge(i)...)
+		rel := relation.New(schema)
+		for k := 0; k < size; k++ {
+			row := make(relation.Tuple, schema.Len())
+			for c := range row {
+				row[c] = relation.Int(int64(zipf.Uint64()))
+			}
+			rel.MustInsert(row)
+		}
+		rels[i] = rel
+	}
+	return relation.NewDatabase(rels...)
+}
+
+// StarJoinSpec parameterizes a star-join (fact + dimensions) workload: the
+// classical warehouse shape, and an acyclic scheme where join order still
+// matters because dimension selectivities differ.
+type StarJoinSpec struct {
+	// Dimensions is the number of dimension tables (≥ 1).
+	Dimensions int
+	// FactRows is the fact table's size.
+	FactRows int
+	// DimRows[i] is dimension i's size; keys in the fact table reference
+	// dimension rows uniformly, and MissRate of fact keys dangle (reference
+	// no dimension row), so semijoin reduction has work to do.
+	DimRows []int
+	// MissRate in [0,1) is the fraction of fact foreign keys that dangle.
+	MissRate float64
+}
+
+// StarJoin builds the scheme and database: fact(k1..kd, m) with one key per
+// dimension plus a measure column, and dim_i(k_i, a_i) with a payload
+// attribute. The scheme is acyclic (a star around the fact table).
+func StarJoin(rng *rand.Rand, spec StarJoinSpec) (*relation.Database, error) {
+	if spec.Dimensions < 1 || len(spec.DimRows) != spec.Dimensions {
+		return nil, fmt.Errorf("workload: need DimRows for each of the %d dimensions", spec.Dimensions)
+	}
+	if spec.MissRate < 0 || spec.MissRate >= 1 {
+		return nil, fmt.Errorf("workload: miss rate must be in [0,1), got %v", spec.MissRate)
+	}
+	factAttrs := make([]string, 0, spec.Dimensions+1)
+	for i := 0; i < spec.Dimensions; i++ {
+		factAttrs = append(factAttrs, fmt.Sprintf("k%d", i))
+	}
+	factAttrs = append(factAttrs, "measure")
+	fact := relation.New(relation.MustSchema(factAttrs...))
+	for r := 0; r < spec.FactRows; r++ {
+		row := make(relation.Tuple, spec.Dimensions+1)
+		for i := 0; i < spec.Dimensions; i++ {
+			key := int64(rng.Intn(maxInt(spec.DimRows[i], 1)))
+			if rng.Float64() < spec.MissRate {
+				key = int64(spec.DimRows[i]) + int64(rng.Intn(spec.DimRows[i]+1)) // dangling key
+			}
+			row[i] = relation.Int(key)
+		}
+		row[spec.Dimensions] = relation.Int(int64(r))
+		fact.MustInsert(row)
+	}
+	rels := []*relation.Relation{fact}
+	for i := 0; i < spec.Dimensions; i++ {
+		dim := relation.New(relation.MustSchema(fmt.Sprintf("k%d", i), fmt.Sprintf("a%d", i)))
+		for k := 0; k < spec.DimRows[i]; k++ {
+			dim.MustInsert(relation.Ints(int64(k), int64(k%7)))
+		}
+		rels = append(rels, dim)
+	}
+	return relation.NewDatabase(rels...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

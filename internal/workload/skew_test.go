@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestZipfDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	h, err := ChainScheme(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ZipfDatabase(rng, h, 300, 50, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("relations = %d", db.Len())
+	}
+	// Skew check: the most frequent value of the first column should carry
+	// far more than a uniform share.
+	counts := map[int64]int{}
+	rel := db.Relation(0)
+	for _, row := range rel.Rows() {
+		counts[row[0].AsInt()]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	uniformShare := rel.Len() / 50
+	if best < 3*uniformShare {
+		t.Errorf("max value frequency %d not skewed (uniform share %d)", best, uniformShare)
+	}
+	// Bad parameters rejected.
+	if _, err := ZipfDatabase(rng, h, 10, 0, 1.5); err == nil {
+		t.Error("domain 0 accepted")
+	}
+	if _, err := ZipfDatabase(rng, h, 10, 5, 1.0); err == nil {
+		t.Error("exponent 1.0 accepted")
+	}
+}
+
+func TestStarJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	db, err := StarJoin(rng, StarJoinSpec{
+		Dimensions: 3,
+		FactRows:   200,
+		DimRows:    []int{20, 10, 5},
+		MissRate:   0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Fatalf("relations = %d, want fact + 3 dims", db.Len())
+	}
+	// The scheme is a star: acyclic and connected.
+	h := hypergraph.OfScheme(db)
+	if !h.Acyclic() {
+		t.Error("star join scheme should be acyclic")
+	}
+	if !h.Connected(h.Full()) {
+		t.Error("star join scheme should be connected")
+	}
+	// Dangling keys exist: the join is smaller than the fact table.
+	full := db.Join()
+	if full.Len() >= db.Relation(0).Len() {
+		t.Errorf("join %d should be smaller than the fact table %d (dangling keys)",
+			full.Len(), db.Relation(0).Len())
+	}
+	if full.Len() == 0 {
+		t.Error("join empty — miss rate too aggressive?")
+	}
+	// Parameter validation.
+	if _, err := StarJoin(rng, StarJoinSpec{Dimensions: 2, FactRows: 1, DimRows: []int{1}}); err == nil {
+		t.Error("mismatched DimRows accepted")
+	}
+	if _, err := StarJoin(rng, StarJoinSpec{Dimensions: 1, FactRows: 1, DimRows: []int{1}, MissRate: 1.0}); err == nil {
+		t.Error("miss rate 1.0 accepted")
+	}
+}
