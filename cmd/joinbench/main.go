@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	joinbench [-quick] [-seed N] [-only E1,E3,...]
+//	joinbench [-quick] [-seed N] [-only E1,E3,...] [-timeout 5m] [-max-tuples n]
 //
 // -quick lowers trial counts and scales for a fast smoke run; -only selects
-// a comma-separated subset of experiment ids.
+// a comma-separated subset of experiment ids. -timeout bounds the whole
+// suite: the deadline is checked between experiments, and the remaining
+// ones are skipped (reported, exit status 1) once it passes. -max-tuples
+// sets the tuple budget for the governance experiment EX6.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -25,7 +29,14 @@ func main() {
 	seed := flag.Int64("seed", 1992, "random seed for the randomized experiments")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	timeout := flag.Duration("timeout", 0, "suite deadline, checked between experiments (0 = none)")
+	maxTuples := flag.Int64("max-tuples", 0, "tuple budget for the EX6 governance experiment (0 = its default)")
 	flag.Parse()
+
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -77,6 +88,7 @@ func main() {
 		{"EX3", func() (*experiments.Table, error) { return experiments.OptimalShapeSurvey(trials/4, *seed) }},
 		{"EX4", func() (*experiments.Table, error) { return experiments.EstimatorAccuracy(*seed) }},
 		{"EX5", func() (*experiments.Table, error) { return experiments.TriangleExperiment(*seed) }},
+		{"EX6", func() (*experiments.Table, error) { return experiments.GovernanceLadder(e3Scale, *maxTuples) }},
 	}
 
 	fmt.Println("Reproduction suite — Morishita, \"Avoiding Cartesian Products in Programs for Multiple Joins\" (PODS 1992)")
@@ -88,6 +100,11 @@ func main() {
 	failed := 0
 	for _, r := range runs {
 		if !want(r.id) {
+			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "%s SKIPPED: suite deadline (%s) passed\n", r.id, *timeout)
+			failed++
 			continue
 		}
 		table, err := r.fn()

@@ -12,6 +12,7 @@ package acyclic
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/program"
@@ -58,6 +59,14 @@ func FullReducer(h *hypergraph.Hypergraph) (*program.Program, *hypergraph.JoinTr
 // (same scheme, possibly smaller relations) plus the semijoin program's
 // cost. The input database is not modified.
 func Reduce(db *relation.Database) (*relation.Database, int, error) {
+	return ReduceGoverned(db, nil)
+}
+
+// ReduceGoverned is Reduce under a governor: every semijoin head charges
+// its tuples (site "acyclic.Reduce" fires per statement for fault
+// injection) and cancellation aborts between semijoins with the governor's
+// typed error.
+func ReduceGoverned(db *relation.Database, g *govern.Governor) (*relation.Database, int, error) {
 	h := hypergraph.OfScheme(db)
 	p, _, err := FullReducer(h)
 	if err != nil {
@@ -72,9 +81,16 @@ func Reduce(db *relation.Database) (*relation.Database, int, error) {
 	}
 	cost := db.TotalTuples()
 	for _, s := range p.Stmts {
+		if _, err := g.Begin("acyclic.Reduce"); err != nil {
+			return nil, 0, err
+		}
 		head := nameIdx[s.Head]
-		env[head] = relation.Semijoin(env[nameIdx[s.Arg1]], env[nameIdx[s.Arg2]])
-		cost += env[head].Len()
+		reduced, err := relation.SemijoinGoverned(g, env[nameIdx[s.Arg1]], env[nameIdx[s.Arg2]])
+		if err != nil {
+			return nil, 0, err
+		}
+		env[head] = reduced
+		cost += reduced.Len()
 	}
 	out, err := relation.NewDatabase(env...)
 	if err != nil {
@@ -101,7 +117,15 @@ func MonotoneTree(jt *hypergraph.JoinTree) *jointree.Tree {
 // total cost (semijoin program cost plus monotone join cost, counting the
 // reduced relations once as the join's inputs).
 func Join(db *relation.Database) (*relation.Relation, int, error) {
-	reduced, reduceCost, err := Reduce(db)
+	return JoinGoverned(db, nil)
+}
+
+// JoinGoverned is Join under a governor: both phases (the semijoin
+// reduction and the monotone join) charge their outputs and honor
+// cancellation, aborting with the governor's typed error and no partial
+// result.
+func JoinGoverned(db *relation.Database, g *govern.Governor) (*relation.Relation, int, error) {
+	reduced, reduceCost, err := ReduceGoverned(db, g)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -111,7 +135,10 @@ func Join(db *relation.Database) (*relation.Relation, int, error) {
 		return nil, 0, fmt.Errorf("acyclic: scheme %s is cyclic", h)
 	}
 	t := MonotoneTree(jt)
-	out, joinCost := t.Eval(reduced)
+	out, joinCost, err := t.EvalGoverned(reduced, g)
+	if err != nil {
+		return nil, 0, err
+	}
 	// The reduced relations were already counted by the reducer; subtract
 	// their double-count as the tree's leaves.
 	return out, reduceCost + joinCost - reduced.TotalTuples(), nil
@@ -125,11 +152,18 @@ func Join(db *relation.Database) (*relation.Relation, int, error) {
 //
 // out must be a subset of the scheme's attributes.
 func Yannakakis(db *relation.Database, out relation.AttrSet) (*relation.Relation, int, error) {
+	return YannakakisGoverned(db, out, nil)
+}
+
+// YannakakisGoverned is Yannakakis under a governor: the reduction sweep,
+// the bottom-up joins, and the projections all charge their outputs and
+// honor cancellation, aborting with the governor's typed error.
+func YannakakisGoverned(db *relation.Database, out relation.AttrSet, g *govern.Governor) (*relation.Relation, int, error) {
 	h := hypergraph.OfScheme(db)
 	if !h.Attrs().ContainsAll(out) {
 		return nil, 0, fmt.Errorf("acyclic: output attributes %s not all in scheme %s", out, h)
 	}
-	reduced, cost, err := Reduce(db)
+	reduced, cost, err := ReduceGoverned(db, g)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -146,18 +180,21 @@ func Yannakakis(db *relation.Database, out relation.AttrSet) (*relation.Relation
 	// the output attributes gathered so far.
 	for _, e := range jt.RemovalOrder {
 		f := jt.Parent[e]
-		joined := relation.Join(rels[f], rels[e])
+		joined, err := relation.JoinGoverned(g, rels[f], rels[e])
+		if err != nil {
+			return nil, 0, err
+		}
 		cost += joined.Len()
 		keep := h.Edge(f).Union(out.Intersect(joined.Schema().AttrSet()))
 		keep = keep.Intersect(joined.Schema().AttrSet())
-		projected, err := relation.Project(joined, keep)
+		projected, err := relation.ProjectGoverned(g, joined, keep)
 		if err != nil {
 			return nil, 0, err
 		}
 		cost += projected.Len()
 		rels[f] = projected
 	}
-	final, err := relation.Project(rels[jt.Root], out)
+	final, err := relation.ProjectGoverned(g, rels[jt.Root], out)
 	if err != nil {
 		return nil, 0, err
 	}

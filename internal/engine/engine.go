@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/acyclic"
 	"repro/internal/core"
+	"repro/internal/engine/failpoint"
+	"repro/internal/govern"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/optimizer"
@@ -65,12 +68,25 @@ type Options struct {
 	// Strategy selects the execution route (default StrategyAuto).
 	Strategy Strategy
 	// Budget caps the tuples the optimizer's catalog may materialize while
-	// searching (0 = optimizer.DefaultBudget).
+	// searching (0 = optimizer.DefaultBudget). It bounds planning only;
+	// Limits bounds execution.
 	Budget int64
 	// IndexedExecution runs programs through the index-sharing executor
 	// (identical results and cost; shared hash indexes across statements
 	// that probe the same relation on the same attributes).
 	IndexedExecution bool
+	// Limits bounds execution itself: tuple budgets, a deadline, and a
+	// cancellation context enforced inside every operator (zero value =
+	// unlimited). Exceeding a limit aborts with a typed error
+	// (govern.ErrTupleBudget, govern.ErrCanceled, govern.ErrDeadline).
+	//
+	// Under StrategyAuto, a blown tuple budget does not fail the call
+	// outright: Join degrades along a strategy ladder (see DegradationLadder)
+	// and records the fallback chain in Report.Notes. Explicit strategies
+	// abort hard. Tuple budgets apply per attempt — each rung of the ladder
+	// starts with fresh counters (an aborted attempt's intermediates are
+	// discarded), while the deadline and context are absolute and shared.
+	Limits govern.Limits
 }
 
 // Report is the outcome of Join: the result plus everything an EXPLAIN
@@ -80,10 +96,13 @@ type Report struct {
 	Result *relation.Relation
 	// Strategy is the route actually taken (resolved from Auto).
 	Strategy Strategy
-	// Cost is the total §2.3 cost actually paid: inputs plus every
-	// generated relation, including optimizer search work is NOT included —
-	// Cost covers execution only.
+	// Cost is the total §2.3 cost actually paid by execution: the input
+	// relations plus every generated relation. Optimizer search work is
+	// excluded; Options.Budget bounds that separately.
 	Cost int64
+	// Produced is the number of tuples the governor charged during the
+	// winning execution attempt (0 when no limits were set).
+	Produced int64
 	// Plan describes the executed plan: the join expression and, for the
 	// program strategies, the derived statements.
 	Plan string
@@ -111,11 +130,21 @@ func (r *Report) Explain() string {
 }
 
 // Join computes the natural join of the database under the given options.
+//
+// With Options.Limits set and StrategyAuto, Join runs the degradation
+// ladder: strategies are tried in DegradationLadder order, a rung that
+// exhausts its tuple budget (or the optimizer's search budget) falls
+// through to the next, and the fallback chain is recorded in Report.Notes.
+// A cancellation or deadline abort is final — there is no point retrying
+// against an expired clock.
 func Join(db *relation.Database, opts Options) (*Report, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("engine: empty database")
 	}
 	h := hypergraph.OfScheme(db)
+	if opts.Strategy == StrategyAuto && opts.Limits.Enabled() {
+		return joinLadder(db, h, opts)
+	}
 	strat := opts.Strategy
 	if strat == StrategyAuto {
 		if h.Acyclic() {
@@ -124,20 +153,92 @@ func Join(db *relation.Database, opts Options) (*Report, error) {
 			strat = StrategyProgram
 		}
 	}
+	return runStrategy(db, h, strat, opts, newGovernor(opts))
+}
+
+// newGovernor builds the execution governor for one strategy attempt and
+// wires the fault-injection registry into it.
+func newGovernor(opts Options) *govern.Governor {
+	gov := govern.New(opts.Limits)
+	gov.SetFailpoint(failpoint.Check)
+	return gov
+}
+
+// runStrategy executes one already-resolved (non-Auto) strategy under the
+// given governor. The failpoint site "engine.strategy" fires once per
+// attempt, before any work.
+func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy, opts Options, gov *govern.Governor) (*Report, error) {
+	if _, err := gov.Begin("engine.strategy"); err != nil {
+		return nil, err
+	}
+	var rep *Report
+	var err error
 	switch strat {
 	case StrategyProgram:
-		return joinProgram(db, h, opts)
+		rep, err = joinProgram(db, h, opts, gov)
 	case StrategyExpression:
-		return joinExpression(db, h, opts)
+		rep, err = joinExpression(db, h, opts, gov)
 	case StrategyReduceThenJoin:
-		return joinReduceThenJoin(db, h, opts)
+		rep, err = joinReduceThenJoin(db, h, opts, gov)
 	case StrategyAcyclic:
-		return joinAcyclic(db, h)
+		rep, err = joinAcyclic(db, h, gov)
 	case StrategyDirect:
-		return joinDirect(db, h)
+		rep, err = joinDirect(db, h, gov)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", strat)
 	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Produced = gov.Produced()
+	return rep, nil
+}
+
+// DegradationLadder returns the strategy ladder governed Auto execution
+// climbs for the given scheme, cheapest machinery first. On cyclic schemes
+// it is the classical CPF expression, then fixpoint semijoin reduction
+// followed by the cheapest CPF expression, then the paper's derived
+// program — whose semijoins bound the intermediates that blew the earlier
+// rungs (Theorem 2 caps its cost at r(a+5) times the optimum, so it is the
+// natural last resort). On acyclic schemes the full-reducer pipeline is
+// already monotone; only the program route remains behind it.
+func DegradationLadder(h *hypergraph.Hypergraph) []Strategy {
+	if h.Acyclic() {
+		return []Strategy{StrategyAcyclic, StrategyProgram}
+	}
+	return []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyProgram}
+}
+
+// degradable reports whether an attempt's failure should fall through to
+// the next rung: execution tuple budgets and optimizer search budgets
+// degrade; cancellation, deadlines, and real errors are final.
+func degradable(err error) bool {
+	return errors.Is(err, govern.ErrTupleBudget) || errors.Is(err, optimizer.ErrBudget)
+}
+
+// joinLadder runs governed Auto execution down the degradation ladder.
+// Tuple budgets are per attempt (each rung gets a fresh governor); the
+// deadline and context are wall-clock–absolute, so they carry across
+// rungs unchanged.
+func joinLadder(db *relation.Database, h *hypergraph.Hypergraph, opts Options) (*Report, error) {
+	ladder := DegradationLadder(h)
+	var chain []string
+	for i, strat := range ladder {
+		rep, err := runStrategy(db, h, strat, opts, newGovernor(opts))
+		if err == nil {
+			rep.Notes = append(chain, rep.Notes...)
+			return rep, nil
+		}
+		if i == len(ladder)-1 || !degradable(err) {
+			if len(chain) > 0 {
+				return nil, fmt.Errorf("engine: degradation ladder exhausted after %d fallbacks: %w", len(chain), err)
+			}
+			return nil, err
+		}
+		chain = append(chain, fmt.Sprintf("degradation: %s aborted (%v); falling back to %s",
+			strat, err, ladder[i+1]))
+	}
+	panic("engine: unreachable: ladder loop neither returned nor degraded")
 }
 
 // bestTree finds the cheapest join expression: exact DP when the scheme is
@@ -159,12 +260,12 @@ func bestTree(db *relation.Database, h *hypergraph.Hypergraph, budget int64, spa
 }
 
 // joinProgram is the paper's route: optimize, CPFify, derive, execute.
-func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options) (*Report, error) {
+func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
 	if !h.Connected(h.Full()) {
 		// Algorithms 1/2 need a connected scheme; fall back to direct
 		// evaluation per component would complicate the facade — join
 		// expression evaluation handles products natively.
-		rep, err := joinExpression(db, h, opts)
+		rep, err := joinExpression(db, h, opts, gov)
 		if err != nil {
 			return nil, err
 		}
@@ -179,11 +280,11 @@ func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	apply := d.Program.Apply
+	apply := d.Program.ApplyGoverned
 	if opts.IndexedExecution {
-		apply = d.Program.ApplyIndexed
+		apply = d.Program.ApplyIndexedGoverned
 	}
-	res, err := apply(db)
+	res, err := apply(db, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +305,7 @@ func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options) 
 // joinExpression evaluates the cheapest CPF expression directly (falling
 // back to the unrestricted space on disconnected schemes, where no CPF
 // expression exists).
-func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Options) (*Report, error) {
+func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
 	space := optimizer.SpaceCPF
 	if !h.Connected(h.Full()) {
 		space = optimizer.SpaceAll
@@ -213,7 +314,10 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 	if err != nil {
 		return nil, err
 	}
-	out, cost := tree.Eval(db)
+	out, cost, err := tree.EvalGoverned(db, gov)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
 		Result:   out,
 		Strategy: StrategyExpression,
@@ -225,8 +329,8 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 
 // joinReduceThenJoin reduces pairwise to a fixpoint, then evaluates the
 // cheapest CPF expression over the reduced database.
-func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Options) (*Report, error) {
-	red, err := PairwiseReduce(db, 0)
+func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
+	red, err := PairwiseReduceGoverned(db, 0, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +342,10 @@ func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Op
 	if err != nil {
 		return nil, err
 	}
-	out, joinCost := tree.Eval(red.Database)
+	out, joinCost, err := tree.EvalGoverned(red.Database, gov)
+	if err != nil {
+		return nil, err
+	}
 	// Total: the original inputs once, the reduction heads, the join's
 	// intermediates (subtract the reduced inputs the tree counted as its
 	// leaves, which the reduction already paid for).
@@ -256,8 +363,8 @@ func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Op
 }
 
 // joinAcyclic runs the classical full-reduce + monotone-join pipeline.
-func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph) (*Report, error) {
-	out, cost, err := acyclic.Join(db)
+func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Governor) (*Report, error) {
+	out, cost, err := acyclic.JoinGoverned(db, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -273,12 +380,15 @@ func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph) (*Report, erro
 }
 
 // joinDirect folds the relations left to right.
-func joinDirect(db *relation.Database, h *hypergraph.Hypergraph) (*Report, error) {
+func joinDirect(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Governor) (*Report, error) {
 	tree := jointree.NewLeaf(0)
 	for i := 1; i < db.Len(); i++ {
 		tree = jointree.NewJoin(tree, jointree.NewLeaf(i))
 	}
-	out, cost := tree.Eval(db)
+	out, cost, err := tree.EvalGoverned(db, gov)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
 		Result:   out,
 		Strategy: StrategyDirect,

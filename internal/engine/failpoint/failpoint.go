@@ -1,0 +1,103 @@
+// Package failpoint is a deterministic fault-injection registry for tests.
+// A failpoint is named after the operator sites the governor passes to its
+// hook ("relation.Join", "program.Stmt", "engine.strategy", …); enabling
+// one arms it to fire on the nth time that site is reached. Tests use it to
+// trigger aborts at a precise operator and verify that every abort path
+// unwinds cleanly, returns the typed error, and never leaks a partial
+// result.
+//
+// The registry is process-global and mutex-guarded; tests that enable
+// failpoints must Reset (or Disable) them when done and must not run in
+// parallel with other failpoint users.
+package failpoint
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the default error an armed failpoint returns; tests can
+// match it with errors.Is.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+type point struct {
+	remaining int64
+	fn        func() error
+}
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*point)
+)
+
+// Enable arms name to return err on the nth Check (1-based; n <= 1 means
+// the next one). A nil err arms ErrInjected. Re-enabling replaces any
+// previous arming.
+func Enable(name string, nth int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	EnableFunc(name, nth, func() error { return err })
+}
+
+// EnableFunc arms name to call fn on the nth Check and return fn's result.
+// fn returning nil lets execution continue — useful for side effects such
+// as canceling a context at a precise operator. The point disarms after
+// firing once.
+func EnableFunc(name string, nth int64, fn func() error) {
+	if nth < 1 {
+		nth = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{remaining: nth, fn: fn}
+}
+
+// Disable removes the named failpoint.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Reset removes every failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = make(map[string]*point)
+}
+
+// Active returns the names of armed failpoints, sorted.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Check is the hook the governor calls at each operator start. It counts
+// down the named point and fires it on the nth hit; unarmed names return
+// nil. It is safe for concurrent use.
+func Check(name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.remaining--
+	if p.remaining > 0 {
+		mu.Unlock()
+		return nil
+	}
+	delete(points, name)
+	mu.Unlock()
+	// Run the payload outside the lock: it may cancel contexts or enable
+	// other failpoints.
+	return p.fn()
+}

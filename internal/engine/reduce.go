@@ -8,6 +8,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 )
 
@@ -35,6 +36,14 @@ type PairwiseReduction struct {
 // reduction always terminates: relation sizes strictly decrease between
 // rounds).
 func PairwiseReduce(db *relation.Database, maxRounds int) (*PairwiseReduction, error) {
+	return PairwiseReduceGoverned(db, maxRounds, nil)
+}
+
+// PairwiseReduceGoverned is PairwiseReduce under a governor: each semijoin
+// head charges its tuples and cancellation aborts between semijoins with
+// the governor's typed error (the failpoint site is the relation operators'
+// own "relation.Semijoin").
+func PairwiseReduceGoverned(db *relation.Database, maxRounds int, g *govern.Governor) (*PairwiseReduction, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("engine: empty database")
 	}
@@ -53,7 +62,10 @@ func PairwiseReduce(db *relation.Database, maxRounds int) (*PairwiseReduction, e
 				if !rels[i].Schema().AttrSet().Overlaps(rels[j].Schema().AttrSet()) {
 					continue
 				}
-				reduced := relation.Semijoin(rels[i], rels[j])
+				reduced, err := relation.SemijoinGoverned(g, rels[i], rels[j])
+				if err != nil {
+					return nil, err
+				}
 				out.Cost += reduced.Len()
 				if reduced.Len() < rels[i].Len() {
 					changed = true

@@ -9,6 +9,7 @@ package jointree
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/hypergraph"
 	"repro/internal/relation"
 )
@@ -187,14 +188,35 @@ func (t *Tree) CanonUnordered() string {
 // with the paper's cost: the sum of |R| over all leaves and all intermediate
 // (and final) join results (§2.3).
 func (t *Tree) Eval(db *relation.Database) (*relation.Relation, int) {
+	out, cost, err := t.EvalGoverned(db, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil governor never aborts
+	}
+	return out, cost
+}
+
+// EvalGoverned is Eval under a governor: every join charges its output
+// tuples against the budgets, and cancellation/deadline aborts surface as
+// the governor's typed error between (and inside) join steps. On abort the
+// result is nil — never a partial join.
+func (t *Tree) EvalGoverned(db *relation.Database, g *govern.Governor) (*relation.Relation, int, error) {
 	if t.IsLeaf() {
 		r := db.Relation(t.Leaf)
-		return r, r.Len()
+		return r, r.Len(), nil
 	}
-	l, cl := t.Left.Eval(db)
-	r, cr := t.Right.Eval(db)
-	out := relation.Join(l, r)
-	return out, out.Len() + cl + cr
+	l, cl, err := t.Left.EvalGoverned(db, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, cr, err := t.Right.EvalGoverned(db, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := relation.JoinGoverned(g, l, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, out.Len() + cl + cr, nil
 }
 
 // Cost returns only the cost of Eval.

@@ -3,6 +3,7 @@ package program
 import (
 	"fmt"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 )
 
@@ -17,6 +18,16 @@ import (
 // several statements (Example 6 touches CDE four times), and full reducers
 // probe each relation twice.
 func (p *Program) ApplyIndexed(db *relation.Database) (*Result, error) {
+	return p.ApplyIndexedGoverned(db, nil)
+}
+
+// ApplyIndexedGoverned is ApplyIndexed under a governor, with the same
+// abort semantics as ApplyGoverned: statement heads are charged, the
+// failpoint site "program.Stmt" fires per statement, and aborts return the
+// typed error with no partial Result. Index builds remain uncharged (they
+// generate no §2.3 relation), but index-driven joins charge their outputs
+// exactly like the plain operators.
+func (p *Program) ApplyIndexedGoverned(db *relation.Database, g *govern.Governor) (*Result, error) {
 	if db.Len() != len(p.Inputs) {
 		return nil, fmt.Errorf("program: database has %d relations, program has %d inputs",
 			db.Len(), len(p.Inputs))
@@ -45,13 +56,16 @@ func (p *Program) ApplyIndexed(db *relation.Database) (*Result, error) {
 
 	res := &Result{Trace: make([]Step, 0, len(p.Stmts))}
 	for i, s := range p.Stmts {
+		if _, err := g.Begin("program.Stmt"); err != nil {
+			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
+		}
 		var out *relation.Relation
 		switch s.Op {
 		case OpProject:
 			var err error
-			out, err = relation.Project(env[s.Arg1], s.Proj)
+			out, err = relation.ProjectGoverned(g, env[s.Arg1], s.Proj)
 			if err != nil {
-				return nil, fmt.Errorf("program: statement %d: %v", i+1, err)
+				return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 			}
 		case OpJoin, OpSemijoin:
 			l, r := env[s.Arg1], env[s.Arg2]
@@ -75,17 +89,23 @@ func (p *Program) ApplyIndexed(db *relation.Database) (*Result, error) {
 				}
 				var err error
 				if s.Op == OpJoin {
-					out, err = relation.JoinWithIndex(l, ix)
+					out, err = relation.JoinWithIndexGoverned(g, l, ix)
 				} else {
-					out, err = relation.SemijoinWithIndex(l, ix)
+					out, err = relation.SemijoinWithIndexGoverned(g, l, ix)
 				}
 				if err != nil {
-					return nil, fmt.Errorf("program: statement %d: %v", i+1, err)
+					return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 				}
-			} else if s.Op == OpJoin {
-				out = relation.Join(l, r)
 			} else {
-				out = relation.Semijoin(l, r)
+				var err error
+				if s.Op == OpJoin {
+					out, err = relation.JoinGoverned(g, l, r)
+				} else {
+					out, err = relation.SemijoinGoverned(g, l, r)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
+				}
 			}
 		}
 		env[s.Head] = out

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"unicode"
 
+	"repro/internal/govern"
 	"repro/internal/relation"
 )
 
@@ -196,6 +197,15 @@ type Result struct {
 // environment is seeded with the inputs (the input relations themselves are
 // never mutated — a semijoin into an input name rebinds the name).
 func (p *Program) Apply(db *relation.Database) (*Result, error) {
+	return p.ApplyGoverned(db, nil)
+}
+
+// ApplyGoverned is Apply under a governor: every statement head charges its
+// tuples against the budgets, the governor's failpoint hook fires at each
+// statement boundary (site "program.Stmt"), and cancellation aborts between
+// or inside statements with the governor's typed error. On abort no partial
+// Result is returned.
+func (p *Program) ApplyGoverned(db *relation.Database, g *govern.Governor) (*Result, error) {
 	if db.Len() != len(p.Inputs) {
 		return nil, fmt.Errorf("program: database has %d relations, program has %d inputs",
 			db.Len(), len(p.Inputs))
@@ -211,18 +221,21 @@ func (p *Program) Apply(db *relation.Database) (*Result, error) {
 	}
 	res := &Result{Trace: make([]Step, 0, len(p.Stmts))}
 	for i, s := range p.Stmts {
+		if _, err := g.Begin("program.Stmt"); err != nil {
+			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
+		}
 		var out *relation.Relation
+		var err error
 		switch s.Op {
 		case OpProject:
-			var err error
-			out, err = relation.Project(env[s.Arg1], s.Proj)
-			if err != nil {
-				return nil, fmt.Errorf("program: statement %d: %v", i+1, err)
-			}
+			out, err = relation.ProjectGoverned(g, env[s.Arg1], s.Proj)
 		case OpJoin:
-			out = relation.Join(env[s.Arg1], env[s.Arg2])
+			out, err = relation.JoinGoverned(g, env[s.Arg1], env[s.Arg2])
 		case OpSemijoin:
-			out = relation.Semijoin(env[s.Arg1], env[s.Arg2])
+			out, err = relation.SemijoinGoverned(g, env[s.Arg1], env[s.Arg2])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
 		env[s.Head] = out
 		cost += out.Len()

@@ -1,6 +1,10 @@
 package relation
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/govern"
+)
 
 // Index is a hash index over a subset of a relation's attributes. Building
 // one costs a single scan; lookups are O(matches). Programs that semijoin
@@ -71,9 +75,19 @@ func (ix *Index) Contains(key Tuple) (bool, error) {
 // relation (otherwise matches would be missed or spurious). The result
 // equals Join(l, ix.Relation()).
 func JoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
+	return JoinWithIndexGoverned(nil, l, ix)
+}
+
+// JoinWithIndexGoverned is JoinWithIndex charging output tuples against the
+// governor, aborting with its typed error when a limit trips.
+func JoinWithIndexGoverned(g *govern.Governor, l *Relation, ix *Index) (*Relation, error) {
 	common := l.Schema().AttrSet().Intersect(ix.rel.Schema().AttrSet())
 	if !common.Equal(ix.attrs) {
 		return nil, fmt.Errorf("relation: index on %s cannot drive a join on %s", ix.attrs, common)
+	}
+	scope, err := g.Begin("relation.Join")
+	if err != nil {
+		return nil, err
 	}
 	lPos, _ := l.Schema().Positions(common)
 	var rOnlyPos []int
@@ -87,6 +101,9 @@ func JoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
 		for _, rt := range ix.buckets[lt.keyAt(lPos)] {
 			out.appendJoined(lt, rt, rOnlyPos)
 		}
+		if err := scope.Visit(out.Len()); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -94,15 +111,27 @@ func JoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
 // SemijoinWithIndex computes l ⋉ ix.Relation() by probing the index; the
 // index must cover exactly the shared attributes.
 func SemijoinWithIndex(l *Relation, ix *Index) (*Relation, error) {
+	return SemijoinWithIndexGoverned(nil, l, ix)
+}
+
+// SemijoinWithIndexGoverned is SemijoinWithIndex under a governor.
+func SemijoinWithIndexGoverned(g *govern.Governor, l *Relation, ix *Index) (*Relation, error) {
 	common := l.Schema().AttrSet().Intersect(ix.rel.Schema().AttrSet())
 	if !common.Equal(ix.attrs) {
 		return nil, fmt.Errorf("relation: index on %s cannot drive a semijoin on %s", ix.attrs, common)
+	}
+	scope, err := g.Begin("relation.Semijoin")
+	if err != nil {
+		return nil, err
 	}
 	lPos, _ := l.Schema().Positions(common)
 	out := New(l.Schema())
 	for _, lt := range l.rows {
 		if len(ix.buckets[lt.keyAt(lPos)]) > 0 {
 			out.MustInsert(lt)
+		}
+		if err := scope.Visit(out.Len()); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -2,6 +2,8 @@ package relation
 
 import (
 	"fmt"
+
+	"repro/internal/govern"
 )
 
 // Join computes the natural join l ⋈ r. The output schema is l's columns
@@ -13,6 +15,21 @@ import (
 // common attributes; the larger side probes. With no common attributes the
 // nested product is produced directly.
 func Join(l, r *Relation) *Relation {
+	out, err := JoinGoverned(nil, l, r)
+	if err != nil {
+		panic(err) // unreachable: a nil governor never aborts
+	}
+	return out
+}
+
+// JoinGoverned is Join charging every output tuple against the governor; it
+// aborts with the governor's typed error mid-join when a limit is exceeded,
+// returning no partial result. A nil governor imposes no limits.
+func JoinGoverned(g *govern.Governor, l, r *Relation) (*Relation, error) {
+	scope, err := g.Begin("relation.Join")
+	if err != nil {
+		return nil, err
+	}
 	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
 	outSchema := joinSchema(l.schema, r.schema)
 	out := New(outSchema)
@@ -30,9 +47,12 @@ func Join(l, r *Relation) *Relation {
 		for _, lt := range l.rows {
 			for _, rt := range r.rows {
 				out.appendJoined(lt, rt, rOnlyPos)
+				if err := scope.Visit(out.Len()); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	lPos, _ := l.schema.Positions(common)
@@ -51,6 +71,9 @@ func Join(l, r *Relation) *Relation {
 			for _, lt := range ht[rt.keyAt(rPos)] {
 				out.appendJoined(lt, rt, rOnlyPos)
 			}
+			if err := scope.Visit(out.Len()); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		ht := make(map[string][]Tuple, r.Len())
@@ -62,9 +85,12 @@ func Join(l, r *Relation) *Relation {
 			for _, rt := range ht[lt.keyAt(lPos)] {
 				out.appendJoined(lt, rt, rOnlyPos)
 			}
+			if err := scope.Visit(out.Len()); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // appendJoined concatenates lt with rt's rOnlyPos columns and inserts the
@@ -94,11 +120,21 @@ func joinSchema(l, r *Schema) *Schema {
 // otherwise behaves like Join; callers that want the degenerate-join
 // behaviour should call Join directly.
 func CrossProduct(l, r *Relation) (*Relation, error) {
+	return CrossProductGoverned(nil, l, r)
+}
+
+// CrossProductGoverned is CrossProduct under a governor: the product — the
+// operator this repository's paper exists to tame — charges every output
+// tuple and aborts with a typed error on a blown budget.
+func CrossProductGoverned(g *govern.Governor, l, r *Relation) (*Relation, error) {
 	if l.schema.AttrSet().Overlaps(r.schema.AttrSet()) {
 		return nil, fmt.Errorf("relation: cross product operands share attributes %s",
 			l.schema.AttrSet().Intersect(r.schema.AttrSet()))
 	}
-	return Join(l, r), nil
+	if _, err := g.Begin("relation.CrossProduct"); err != nil {
+		return nil, err
+	}
+	return JoinGoverned(g, l, r)
 }
 
 // Semijoin computes l ⋉ r: the tuples of l that join with at least one tuple
@@ -106,15 +142,33 @@ func CrossProduct(l, r *Relation) (*Relation, error) {
 // result is l itself if r is nonempty and empty otherwise (the degenerate
 // semantics of ⋉ as π_l(l ⋈ r)).
 func Semijoin(l, r *Relation) *Relation {
+	out, err := SemijoinGoverned(nil, l, r)
+	if err != nil {
+		panic(err) // unreachable: a nil governor never aborts
+	}
+	return out
+}
+
+// SemijoinGoverned is Semijoin under a governor. A semijoin's output is at
+// most |l|, so it cannot blow up — but it still charges its output (the
+// §2.3 cost counts semijoin heads) and honors cancellation and deadlines.
+func SemijoinGoverned(g *govern.Governor, l, r *Relation) (*Relation, error) {
+	scope, err := g.Begin("relation.Semijoin")
+	if err != nil {
+		return nil, err
+	}
 	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
 	out := New(l.schema)
 	if common.IsEmpty() {
 		if r.Len() > 0 {
 			for _, lt := range l.rows {
 				out.MustInsert(lt)
+				if err := scope.Visit(out.Len()); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return out
+		return out, nil
 	}
 	lPos, _ := l.schema.Positions(common)
 	rPos, _ := r.schema.Positions(common)
@@ -131,13 +185,19 @@ func Semijoin(l, r *Relation) *Relation {
 			if _, interesting := support[k]; interesting {
 				support[k] = true
 			}
+			if err := scope.Visit(out.Len()); err != nil {
+				return nil, err
+			}
 		}
 		for _, lt := range l.rows {
 			if support[lt.keyAt(lPos)] {
 				out.MustInsert(lt)
 			}
+			if err := scope.Visit(out.Len()); err != nil {
+				return nil, err
+			}
 		}
-		return out
+		return out, nil
 	}
 	keys := make(map[string]struct{}, r.Len())
 	for _, rt := range r.rows {
@@ -147,8 +207,11 @@ func Semijoin(l, r *Relation) *Relation {
 		if _, ok := keys[lt.keyAt(lPos)]; ok {
 			out.MustInsert(lt)
 		}
+		if err := scope.Visit(out.Len()); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Antijoin computes l ▷ r: the tuples of l that join with no tuple of r.
@@ -180,9 +243,20 @@ func Antijoin(l, r *Relation) *Relation {
 // Project computes π_attrs(r), deduplicating. The attrs must all belong to
 // r's schema; the output column order is the sorted attribute order.
 func Project(r *Relation, attrs AttrSet) (*Relation, error) {
+	return ProjectGoverned(nil, r, attrs)
+}
+
+// ProjectGoverned is Project under a governor: output tuples are charged
+// against the budgets and cancellation is polled periodically during the
+// scan.
+func ProjectGoverned(g *govern.Governor, r *Relation, attrs AttrSet) (*Relation, error) {
 	if !r.schema.AttrSet().ContainsAll(attrs) {
 		return nil, fmt.Errorf("relation: projection attributes %s not all in schema %s",
 			attrs, r.schema)
+	}
+	scope, err := g.Begin("relation.Project")
+	if err != nil {
+		return nil, err
 	}
 	pos, _ := r.schema.Positions(attrs)
 	out := New(MustSchema(attrs...))
@@ -192,6 +266,9 @@ func Project(r *Relation, attrs AttrSet) (*Relation, error) {
 			row[i] = t[p]
 		}
 		out.MustInsert(row)
+		if err := scope.Visit(out.Len()); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
