@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	joinbench [-quick] [-seed N] [-only E1,E3,...] [-timeout 5m] [-max-tuples n]
+//	joinbench [-quick] [-seed N] [-only E1,E3,...] [-timeout 5m] [-max-tuples n] [-json results.json]
 //
 // -quick lowers trial counts and scales for a fast smoke run; -only selects
 // a comma-separated subset of experiment ids. -timeout bounds the whole
 // suite: the deadline is checked between experiments, and the remaining
 // ones are skipped (reported, exit status 1) once it passes. -max-tuples
-// sets the tuple budget for the governance experiment EX6.
+// sets the tuple budget for the governance experiment EX6. -json also
+// writes every experiment's outcome — id, title, ok/error, wall-clock
+// milliseconds, and the table's columns, rows, and notes — as a JSON array
+// to the given file ("-" for stdout), for dashboards and regression diffs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	timeout := flag.Duration("timeout", 0, "suite deadline, checked between experiments (0 = none)")
 	maxTuples := flag.Int64("max-tuples", 0, "tuple budget for the EX6 governance experiment (0 = its default)")
+	jsonOut := flag.String("json", "", "write per-experiment results as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -98,21 +103,35 @@ func main() {
 		fmt.Println()
 	}
 	failed := 0
+	var results []experimentResult
 	for _, r := range runs {
 		if !want(r.id) {
 			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			fmt.Fprintf(os.Stderr, "%s SKIPPED: suite deadline (%s) passed\n", r.id, *timeout)
+			results = append(results, experimentResult{ID: r.id, Error: "skipped: suite deadline passed"})
 			failed++
 			continue
 		}
+		start := time.Now()
 		table, err := r.fn()
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.id, err)
+			results = append(results, experimentResult{ID: r.id, Error: err.Error(), WallMS: wallMS})
 			failed++
 			continue
 		}
+		results = append(results, experimentResult{
+			ID:      table.ID,
+			Title:   table.Title,
+			OK:      true,
+			WallMS:  wallMS,
+			Columns: table.Columns,
+			Rows:    table.Rows,
+			Notes:   table.Notes,
+		})
 		table.Render(os.Stdout)
 		fmt.Println()
 		if *csvDir != "" {
@@ -122,9 +141,45 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// experimentResult is one entry of the -json output: the experiment's
+// outcome plus its full table, machine-readable.
+type experimentResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title,omitempty"`
+	OK      bool       `json:"ok"`
+	Error   string     `json:"error,omitempty"`
+	WallMS  float64    `json:"wall_ms"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// writeResults stores the -json report ("-" = stdout).
+func writeResults(path string, results []experimentResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 // writeCSV stores a table as <dir>/<id>.csv.

@@ -1,0 +1,132 @@
+// Command joind is a concurrent join-serving daemon: it holds a catalog of
+// registered databases, caches derived plans per scheme fingerprint (the
+// paper's Theorems 1–2 make one plan per scheme correct and quasi-optimal
+// for every instance), and serves joins over HTTP/JSON with admission
+// control and a global tuple budget.
+//
+// Usage:
+//
+//	joind [-addr :8080] [-workers n] [-queue-depth n] [-queue-timeout 5s]
+//	      [-plan-cache 128] [-global-max-tuples n] [-max-tuples-per-query n]
+//	      [-default-timeout d] [-search-budget n] [-preload name=r1.tsv,r2.tsv,...]
+//
+// API (see docs/SERVICE.md for the full reference and a worked session):
+//
+//	POST /v1/databases  register a named database
+//	GET  /v1/databases  list the catalog
+//	POST /v1/query      join a registered database
+//	GET  /v1/stats      service + plan-cache counters
+//	GET  /healthz       liveness
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections and waits briefly for in-flight queries (whose governors see
+// their request contexts cancel when the drain deadline passes).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent query executions (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "queries allowed to wait for a worker before 429 (0 = 4×workers)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max time a query waits for a worker before 429 (0 = 5s)")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity in entries (0 = default)")
+	globalMaxTuples := flag.Int64("global-max-tuples", 0, "total tuple budget across in-flight queries (0 = unlimited)")
+	maxTuplesPerQuery := flag.Int64("max-tuples-per-query", 0, "per-query tuple budget cap (0 = fair share of global budget)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "per-query deadline when the request sets none (0 = none)")
+	searchBudget := flag.Int64("search-budget", 0, "optimizer search budget on plan-cache misses (0 = optimizer default)")
+	preload := flag.String("preload", "", "semicolon-separated name=r1.tsv,r2.tsv,... databases to register at startup")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		QueueTimeout:      *queueTimeout,
+		PlanCacheSize:     *planCache,
+		GlobalMaxTuples:   *globalMaxTuples,
+		MaxTuplesPerQuery: *maxTuplesPerQuery,
+		DefaultTimeout:    *defaultTimeout,
+		SearchBudget:      *searchBudget,
+	})
+	if *preload != "" {
+		if err := preloadDatabases(svc, *preload); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		cfg := svc.Config()
+		log.Printf("joind: listening on %s (workers %d, queue depth %d)", *addr, cfg.Workers, cfg.QueueDepth)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("joind: %v; draining for up to %s", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// preloadDatabases registers semicolon-separated name=file,file,... specs.
+func preloadDatabases(svc *service.Service, specs string) error {
+	for _, spec := range strings.Split(specs, ";") {
+		name, files, ok := strings.Cut(strings.TrimSpace(spec), "=")
+		if !ok {
+			return fmt.Errorf("joind: -preload entry %q is not name=files", spec)
+		}
+		var rels []*relation.Relation
+		for _, path := range strings.Split(files, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				return err
+			}
+			rel, err := relation.ReadTSV(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %v", path, err)
+			}
+			rels = append(rels, rel)
+		}
+		db, err := relation.NewDatabase(rels...)
+		if err != nil {
+			return err
+		}
+		info, err := svc.Register(name, db)
+		if err != nil {
+			return err
+		}
+		log.Printf("joind: preloaded %q (%d relations, %d tuples, acyclic=%v)",
+			info.Name, info.Relations, info.Tuples, info.Acyclic)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/acyclic"
 	"repro/internal/core"
@@ -109,6 +110,13 @@ type Report struct {
 	// Notes carries strategy-specific detail (reduction rounds, bound
 	// factors, …).
 	Notes []string
+	// PlanCacheHit reports whether execution reused a cached plan instead of
+	// running optimizer search (set by the serving layer; always false for
+	// direct Join calls).
+	PlanCacheHit bool
+	// QueueWait is how long the query waited for a worker slot before
+	// executing (set by the serving layer; zero for direct Join calls).
+	QueueWait time.Duration
 }
 
 // Explain renders the report for humans.
@@ -117,6 +125,12 @@ func (r *Report) Explain() string {
 	fmt.Fprintf(&b, "strategy: %s\n", r.Strategy)
 	fmt.Fprintf(&b, "cost:     %d tuples (inputs + every generated relation)\n", r.Cost)
 	fmt.Fprintf(&b, "result:   %d tuples\n", r.Result.Len())
+	if r.PlanCacheHit {
+		b.WriteString("plan cache: hit (no optimizer search)\n")
+	}
+	if r.QueueWait > 0 {
+		fmt.Fprintf(&b, "queue wait: %s\n", r.QueueWait)
+	}
 	if r.Plan != "" {
 		b.WriteString("plan:\n")
 		for _, line := range strings.Split(strings.TrimRight(r.Plan, "\n"), "\n") {
@@ -145,15 +159,7 @@ func Join(db *relation.Database, opts Options) (*Report, error) {
 	if opts.Strategy == StrategyAuto && opts.Limits.Enabled() {
 		return joinLadder(db, h, opts)
 	}
-	strat := opts.Strategy
-	if strat == StrategyAuto {
-		if h.Acyclic() {
-			strat = StrategyAcyclic
-		} else {
-			strat = StrategyProgram
-		}
-	}
-	return runStrategy(db, h, strat, opts, newGovernor(opts))
+	return runStrategy(db, h, Resolve(h, opts.Strategy), opts, newGovernor(opts))
 }
 
 // newGovernor builds the execution governor for one strategy attempt and

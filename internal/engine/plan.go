@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/acyclic"
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// Plan is a reusable execution plan for one database scheme: the outcome of
+// strategy resolution and optimizer search, detached from any particular
+// instance. The paper's Theorems 1–2 are exactly the license for this
+// reuse — a program is derived once per scheme and computes ⋈D for *every*
+// database over it, quasi-optimally — so a Plan is the natural cache entry
+// (see internal/plancache).
+//
+// Plans are expressed in the scheme's canonical edge order
+// (hypergraph.CanonicalOrder): PlanFor permutes the database into canonical
+// order before searching, and ExecutePlan permutes again at run time, so one
+// plan serves every database whose scheme has the same Fingerprint
+// regardless of how its relations happen to be ordered.
+//
+// A Plan is immutable after PlanFor returns and safe for concurrent
+// ExecutePlan calls.
+type Plan struct {
+	// Fingerprint is the canonical scheme key the plan was derived for
+	// (hypergraph.Fingerprint).
+	Fingerprint string
+	// Strategy is the resolved execution route — never StrategyAuto.
+	Strategy Strategy
+	// Tree is the optimized join expression in canonical edge order: the
+	// evaluation plan for the expression, reduce-then-join, and direct
+	// strategies, and the source expression Algorithm 1/2 derived from for
+	// the program strategy. It is nil for the acyclic pipeline, which needs
+	// no search.
+	Tree *jointree.Tree
+	// Derivation carries the CPF tree and derived program for
+	// StrategyProgram (Algorithms 1 and 2, run once at plan time).
+	Derivation *core.Derivation
+	// Notes records how the plan was obtained (search used, bound factors).
+	Notes []string
+}
+
+// Resolve returns the strategy Auto resolves to for the given scheme: the
+// classical acyclic pipeline when the scheme is acyclic, otherwise the
+// paper's derived program. Non-Auto strategies resolve to themselves.
+func Resolve(h *hypergraph.Hypergraph, s Strategy) Strategy {
+	if s != StrategyAuto {
+		return s
+	}
+	if h.Acyclic() {
+		return StrategyAcyclic
+	}
+	return StrategyProgram
+}
+
+// ParseStrategy parses a strategy name as printed by Strategy.String.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, cand := range []Strategy{
+		StrategyAuto, StrategyProgram, StrategyExpression,
+		StrategyReduceThenJoin, StrategyAcyclic, StrategyDirect,
+	} {
+		if cand.String() == s {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown strategy %q (want auto, program, cpf-expression, reduce-then-join, acyclic, or direct)", s)
+}
+
+// canonicalize permutes db into canonical edge order, returning the
+// canonical database and its hypergraph. When the database is already
+// canonical it is returned as-is.
+func canonicalize(db *relation.Database, h *hypergraph.Hypergraph) (*relation.Database, *hypergraph.Hypergraph, error) {
+	perm := h.CanonicalOrder()
+	ordered := true
+	for i, p := range perm {
+		if p != i {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		return db, h, nil
+	}
+	cdb, err := db.Restrict(perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cdb, hypergraph.OfScheme(cdb), nil
+}
+
+// leftDeep builds the no-optimization left-deep tree over n relations.
+func leftDeep(n int) *jointree.Tree {
+	t := jointree.NewLeaf(0)
+	for i := 1; i < n; i++ {
+		t = jointree.NewJoin(t, jointree.NewLeaf(i))
+	}
+	return t
+}
+
+// PlanFor derives a reusable plan for db's scheme under the given options:
+// it resolves the strategy, runs whatever optimizer search the strategy
+// needs (charged against Options.Budget), and — for the program route —
+// runs Algorithms 1 and 2. Execution limits in Options are ignored here;
+// they bind at ExecutePlan time. The instance's statistics steer the search,
+// but the returned plan is valid for every database over the same scheme
+// (Theorem 1) and quasi-optimal relative to the found expression on all of
+// them (Theorem 2).
+func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("engine: empty database")
+	}
+	h := hypergraph.OfScheme(db)
+	cdb, ch, err := canonicalize(db, h)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Fingerprint: h.Fingerprint(), Strategy: Resolve(h, opts.Strategy)}
+	switch p.Strategy {
+	case StrategyAcyclic:
+		if !ch.Acyclic() {
+			return nil, fmt.Errorf("engine: acyclic strategy requires an acyclic scheme, got %s", ch)
+		}
+		// The full-reducer pipeline is search-free; the plan is the strategy.
+	case StrategyDirect:
+		p.Tree = leftDeep(cdb.Len())
+	case StrategyExpression, StrategyReduceThenJoin:
+		space := optimizer.SpaceCPF
+		if !ch.Connected(ch.Full()) {
+			space = optimizer.SpaceAll
+		}
+		tree, how, err := bestTree(cdb, ch, opts.Budget, space)
+		if err != nil {
+			return nil, err
+		}
+		p.Tree = tree
+		p.Notes = append(p.Notes, "optimized by "+how)
+	case StrategyProgram:
+		if !ch.Connected(ch.Full()) {
+			// Same fallback as joinProgram: Algorithms 1/2 need a connected
+			// scheme; expression evaluation handles products natively.
+			tree, how, err := bestTree(cdb, ch, opts.Budget, optimizer.SpaceAll)
+			if err != nil {
+				return nil, err
+			}
+			p.Strategy = StrategyExpression
+			p.Tree = tree
+			p.Notes = append(p.Notes,
+				"optimized by "+how,
+				"scheme disconnected: fell back to expression evaluation")
+			break
+		}
+		tree, how, err := bestTree(cdb, ch, opts.Budget, optimizer.SpaceAll)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.DeriveFromTree(tree, ch, nil)
+		if err != nil {
+			return nil, err
+		}
+		projects, joins, semijoins := d.Program.OpCounts()
+		p.Tree = tree
+		p.Derivation = d
+		p.Notes = append(p.Notes,
+			"optimized by "+how,
+			fmt.Sprintf("program: %d projections, %d joins, %d semijoins", projects, joins, semijoins),
+			fmt.Sprintf("Theorem 2 bound factor r(a+5) = %d", d.QuasiFactor),
+		)
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", p.Strategy)
+	}
+	return p, nil
+}
+
+// ExecutePlan runs a previously derived plan against db, which must be over
+// the same scheme (equal Fingerprint; any edge order). No optimizer search
+// or algorithm derivation happens here — this is the serving hot path.
+// Options.Limits and Options.IndexedExecution apply; Options.Strategy and
+// Options.Budget are ignored (the plan fixed both). The plan is not
+// mutated, so concurrent ExecutePlan calls on one plan are safe.
+func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("engine: nil plan")
+	}
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("engine: empty database")
+	}
+	h := hypergraph.OfScheme(db)
+	if fp := h.Fingerprint(); fp != plan.Fingerprint {
+		return nil, fmt.Errorf("engine: plan fingerprint %q does not match database scheme %q", plan.Fingerprint, fp)
+	}
+	cdb, ch, err := canonicalize(db, h)
+	if err != nil {
+		return nil, err
+	}
+	gov := newGovernor(opts)
+	if _, err := gov.Begin("engine.strategy"); err != nil {
+		return nil, err
+	}
+	var rep *Report
+	switch plan.Strategy {
+	case StrategyProgram:
+		apply := plan.Derivation.Program.ApplyGoverned
+		if opts.IndexedExecution {
+			apply = plan.Derivation.Program.ApplyIndexedGoverned
+		}
+		res, err := apply(cdb, gov)
+		if err != nil {
+			return nil, err
+		}
+		rep = &Report{
+			Result:   res.Output,
+			Strategy: StrategyProgram,
+			Cost:     int64(res.Cost),
+			Plan:     "source expression: " + plan.Tree.String(ch) + "\n" + plan.Derivation.Program.String(),
+		}
+	case StrategyExpression, StrategyDirect:
+		out, cost, err := plan.Tree.EvalGoverned(cdb, gov)
+		if err != nil {
+			return nil, err
+		}
+		rep = &Report{
+			Result:   out,
+			Strategy: plan.Strategy,
+			Cost:     int64(cost),
+			Plan:     plan.Tree.String(ch),
+		}
+	case StrategyReduceThenJoin:
+		red, err := PairwiseReduceGoverned(cdb, 0, gov)
+		if err != nil {
+			return nil, err
+		}
+		out, joinCost, err := plan.Tree.EvalGoverned(red.Database, gov)
+		if err != nil {
+			return nil, err
+		}
+		total := int64(cdb.TotalTuples()) + int64(red.Cost) + int64(joinCost) - int64(red.Database.TotalTuples())
+		rep = &Report{
+			Result:   out,
+			Strategy: StrategyReduceThenJoin,
+			Cost:     total,
+			Plan:     plan.Tree.String(ch),
+			Notes:    []string{fmt.Sprintf("pairwise reduction: %d rounds, %d tuples removed", red.Rounds, red.Removed)},
+		}
+	case StrategyAcyclic:
+		out, cost, err := acyclic.JoinGoverned(cdb, gov)
+		if err != nil {
+			return nil, err
+		}
+		jt, _ := ch.GYO()
+		tree := acyclic.MonotoneTree(jt)
+		rep = &Report{
+			Result:   out,
+			Strategy: StrategyAcyclic,
+			Cost:     int64(cost),
+			Plan:     "full reducer; monotone expression: " + tree.String(ch),
+			Notes:    []string{"no intermediate exceeds the output on the reduced database"},
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", plan.Strategy)
+	}
+	// Append the plan-time notes without mutating the shared plan.
+	rep.Notes = append(rep.Notes, plan.Notes...)
+	rep.Produced = gov.Produced()
+	return rep, nil
+}

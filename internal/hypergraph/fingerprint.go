@@ -1,0 +1,64 @@
+package hypergraph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file canonicalizes schemes for plan reuse. The paper derives an
+// expression/program once per database *scheme* and proves it quasi-optimal
+// for every instance over that scheme (Theorems 1–2), which makes derived
+// plans ideal cache entries: two databases whose schemes differ only in the
+// order their relations (edges) or attributes were declared should share one
+// cached plan. Fingerprint is the cache key; CanonicalOrder is the edge
+// permutation that aligns any database over the scheme with the order the
+// cached plan was derived in.
+
+// canonEdge renders one edge injectively: its attributes (already sorted —
+// AttrSet is stored sorted) each strconv.Quote'd and joined with commas.
+// Quoting makes the rendering collision-free for arbitrary attribute names
+// (a scheme {"a,b"} must not collide with {"a","b"}).
+func canonEdge(e []string) string {
+	parts := make([]string, len(e))
+	for i, a := range e {
+		parts[i] = strconv.Quote(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// CanonicalOrder returns the permutation that sorts the edges into canonical
+// order: perm[i] is the original index of the edge at canonical position i,
+// with edges ordered by their canonical rendering and duplicate schemes
+// (equal renderings) kept in original relative order. Restricting a database
+// with this permutation (Database.Restrict) yields the canonical instance a
+// cached plan executes against, so one plan serves every edge ordering of
+// the same scheme.
+func (h *Hypergraph) CanonicalOrder() []int {
+	keys := make([]string, len(h.edges))
+	for i, e := range h.edges {
+		keys[i] = canonEdge(e)
+	}
+	perm := make([]int, len(h.edges))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}
+
+// Fingerprint returns the canonical key of the scheme: the multiset of edge
+// attribute sets, each rendered injectively and sorted, joined with "|".
+// Equal fingerprints mean the schemes are equal as multisets of attribute
+// sets — invariant under edge reordering and attribute declaration order,
+// but deliberately NOT under attribute renaming: cached plans name real
+// attributes in their projections and semijoins, so isomorphic-but-renamed
+// schemes must not share a plan.
+func (h *Hypergraph) Fingerprint() string {
+	keys := make([]string, len(h.edges))
+	for i, e := range h.edges {
+		keys[i] = canonEdge(e)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

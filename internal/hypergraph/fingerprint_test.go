@@ -1,0 +1,102 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestFingerprintInvariantUnderEdgeOrder(t *testing.T) {
+	a, err := ParseScheme("ABC CDE EFG GHA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseScheme("GHA EFG ABC CDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ under edge reordering:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintInvariantUnderAttrOrder(t *testing.T) {
+	// "GHA" and "AGH" are the same attribute set declared in different
+	// orders (the paper writes GHA; sorted form is AGH).
+	a, _ := ParseScheme("ABC GHA")
+	b, _ := ParseScheme("AGH ABC")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ under attribute declaration order:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishesSchemes(t *testing.T) {
+	cases := []string{"AB BC CA", "AB BC", "AB BC CA CA", "ABC BC CA", "AB AB BC CA"}
+	seen := map[string]string{}
+	for _, s := range cases {
+		h, err := ParseScheme(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := h.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("schemes %q and %q share fingerprint %q", prev, s, fp)
+		}
+		seen[fp] = s
+	}
+}
+
+func TestFingerprintPathologicalAttrNames(t *testing.T) {
+	// {"a,b"} vs {"a","b"}: a naive comma join would collide.
+	a := Must([]relation.AttrSet{relation.NewAttrSet("a,b")})
+	b := Must([]relation.AttrSet{relation.NewAttrSet("a", "b")})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Errorf("pathological attribute names collide: %q", a.Fingerprint())
+	}
+}
+
+func TestCanonicalOrderIsSortingPermutation(t *testing.T) {
+	h, err := ParseScheme("GHA EFG ABC CDE ABC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := h.CanonicalOrder()
+	if len(perm) != h.Len() {
+		t.Fatalf("perm length %d, want %d", len(perm), h.Len())
+	}
+	seen := make([]bool, h.Len())
+	for _, p := range perm {
+		if p < 0 || p >= h.Len() || seen[p] {
+			t.Fatalf("perm %v is not a permutation", perm)
+		}
+		seen[p] = true
+	}
+	for i := 1; i < len(perm); i++ {
+		prev, cur := canonEdge(h.Edge(perm[i-1])), canonEdge(h.Edge(perm[i]))
+		if prev > cur {
+			t.Fatalf("perm %v does not sort edges: %q > %q", perm, prev, cur)
+		}
+	}
+	// Duplicate edges (the two ABCs, original indexes 2 and 4) keep their
+	// relative order — the sort is stable.
+	var dups []int
+	for _, p := range perm {
+		if p == 2 || p == 4 {
+			dups = append(dups, p)
+		}
+	}
+	if len(dups) != 2 || dups[0] != 2 || dups[1] != 4 {
+		t.Errorf("duplicate edges reordered: %v", dups)
+	}
+}
+
+func TestCanonicalOrderAlignsPermutedSchemes(t *testing.T) {
+	a, _ := ParseScheme("ABC CDE EFG GHA")
+	b, _ := ParseScheme("GHA EFG ABC CDE")
+	pa, pb := a.CanonicalOrder(), b.CanonicalOrder()
+	for i := range pa {
+		if !a.Edge(pa[i]).Equal(b.Edge(pb[i])) {
+			t.Fatalf("canonical position %d differs: %s vs %s", i, a.Edge(pa[i]), b.Edge(pb[i]))
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package plancache caches derived execution plans keyed by canonical
+// scheme fingerprint. The paper's Theorems 1–2 make plans ideal cache
+// entries: an expression/program is derived once per database scheme and is
+// correct (and quasi-optimal) for every instance over that scheme, so a
+// serving process that sees the same scheme repeatedly — the normal case
+// for a query service — pays for optimizer search and Algorithm 1/2
+// derivation exactly once.
+//
+// The cache is a bounded LRU with hit/miss/eviction counters, safe for
+// concurrent use. GetOrCompute collapses concurrent misses on one key into
+// a single derivation (plan search can be expensive; a thundering herd of
+// identical queries must not each run it).
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// DefaultCapacity is the cache size used when New is given a non-positive
+// capacity.
+const DefaultCapacity = 128
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Get/GetOrCompute calls answered from the cache, including
+	// calls that joined an in-flight computation (see Coalesced).
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that found nothing and (for GetOrCompute) ran
+	// the compute function.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to respect capacity.
+	Evictions int64 `json:"evictions"`
+	// Coalesced counts GetOrCompute calls that waited on another caller's
+	// in-flight computation instead of running their own (a subset of Hits).
+	Coalesced int64 `json:"coalesced"`
+	// Len and Capacity describe current occupancy.
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
+}
+
+// Cache is an LRU plan cache. The zero value is not usable; construct with
+// New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *entry
+	inflight map[string]*flight
+
+	hits, misses, evictions, coalesced int64
+}
+
+type entry struct {
+	key  string
+	plan *engine.Plan
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	plan *engine.Plan
+	err  error
+}
+
+// New returns an empty cache holding at most capacity plans
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+func (c *Cache) Get(key string) (*engine.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a plan under key, evicting the least recently used entry when
+// over capacity. Storing an existing key replaces its plan.
+func (c *Cache) Put(key string, p *engine.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, p)
+}
+
+// put is Put without locking.
+func (c *Cache) put(key string, p *engine.Plan) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).plan = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, plan: p})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// GetOrCompute returns the plan for key, computing and caching it on a
+// miss. Concurrent callers missing on the same key share one computation:
+// the first runs compute, the rest block until it finishes and receive its
+// result. The second return reports whether the caller was served without
+// running compute itself (a cache hit or a coalesced wait). Compute errors
+// are not cached; they propagate to every waiter of that flight.
+func (c *Cache) GetOrCompute(key string, compute func() (*engine.Plan, error)) (*engine.Plan, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*entry).plan
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.plan, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.plan, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.put(key, f.plan)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.plan, false, f.err
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Coalesced: c.coalesced,
+		Len:       c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,152 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func plan(fp string) *engine.Plan {
+	return &engine.Plan{Fingerprint: fp, Strategy: engine.StrategyDirect}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", plan("a"))
+	c.Put("b", plan("b"))
+	if _, ok := c.Get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing")
+	}
+	c.Put("c", plan("c")) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, len 2, cap 2", st)
+	}
+}
+
+func TestPutReplacesExistingKey(t *testing.T) {
+	c := New(2)
+	c.Put("a", plan("old"))
+	c.Put("a", plan("new"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	p, ok := c.Get("a")
+	if !ok || p.Fingerprint != "new" {
+		t.Errorf("got %v, want replaced plan", p)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(4)
+	c.Get("missing")
+	c.Put("a", plan("a"))
+	c.Get("a")
+	c.Get("a")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss", st)
+	}
+}
+
+func TestGetOrComputeCoalesces(t *testing.T) {
+	c := New(4)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	var fromCache atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, cached, err := c.GetOrCompute("k", func() (*engine.Plan, error) {
+				computes.Add(1)
+				<-release // hold the flight open so the others must coalesce
+				return plan("k"), nil
+			})
+			if err != nil || p.Fingerprint != "k" {
+				t.Errorf("GetOrCompute: %v, %v", p, err)
+			}
+			if cached {
+				fromCache.Add(1)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	if got := fromCache.Load(); got != waiters-1 {
+		t.Errorf("%d callers served without computing, want %d", got, waiters-1)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() (*engine.Plan, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed computation was cached")
+	}
+	// A later call retries the computation.
+	p, cached, err := c.GetOrCompute("k", func() (*engine.Plan, error) { return plan("k"), nil })
+	if err != nil || cached || p == nil {
+		t.Errorf("retry = %v, %v, %v", p, cached, err)
+	}
+}
+
+// TestConcurrentStress hammers Get/Put/GetOrCompute across overlapping keys
+// with a capacity small enough to force constant eviction; run under -race
+// this is the cache's data-race certificate.
+func TestConcurrentStress(t *testing.T) {
+	c := New(8)
+	const goroutines = 32
+	const opsPer = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				switch i % 3 {
+				case 0:
+					c.Put(key, plan(key))
+				case 1:
+					if p, ok := c.Get(key); ok && p.Fingerprint != key {
+						t.Errorf("key %s holds plan %s", key, p.Fingerprint)
+					}
+				default:
+					p, _, err := c.GetOrCompute(key, func() (*engine.Plan, error) { return plan(key), nil })
+					if err != nil || p.Fingerprint != key {
+						t.Errorf("GetOrCompute(%s) = %v, %v", key, p, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > 8 {
+		t.Errorf("len %d exceeds capacity", st.Len)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Error("no lookups recorded")
+	}
+}

@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON wire format (the joind service API speaks this):
+//
+//	Value:    a JSON number (integers only) or a JSON string
+//	Relation: {"attrs": ["A","B"], "tuples": [[1,2], [1,"x"]]}
+//	Database: [Relation, Relation, ...]
+//
+// Numbers decode as exact int64s (json.Number, not float64), so large keys
+// round-trip; non-integer numbers are rejected rather than truncated.
+// Relations marshal their tuples in sorted order for deterministic output.
+
+// MarshalJSON renders the value as a bare number or string.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.Kind() == KindInt {
+		return json.Marshal(v.AsInt())
+	}
+	return json.Marshal(v.AsString())
+}
+
+// UnmarshalJSON reads a number (integer) or string.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case json.Number:
+		n, err := x.Int64()
+		if err != nil {
+			return fmt.Errorf("relation: value %s is not a 64-bit integer (string values must be JSON strings)", x)
+		}
+		*v = Int(n)
+		return nil
+	case string:
+		*v = String(x)
+		return nil
+	default:
+		return fmt.Errorf("relation: value must be an integer or a string, got %T", raw)
+	}
+}
+
+// relationJSON is the wire shape of a Relation.
+type relationJSON struct {
+	Attrs  []string `json:"attrs"`
+	Tuples []Tuple  `json:"tuples"`
+}
+
+// MarshalJSON renders the relation as {"attrs": [...], "tuples": [...]}
+// with tuples in deterministic (sorted) order.
+func (r *Relation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(relationJSON{Attrs: r.schema.Attrs(), Tuples: r.SortedRows()})
+}
+
+// UnmarshalJSON reads the wire shape into r, replacing its contents.
+// Duplicate tuples collapse (set semantics), and arity mismatches are
+// rejected with the offending tuple index.
+func (r *Relation) UnmarshalJSON(data []byte) error {
+	var raw relationJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	schema, err := NewSchema(raw.Attrs...)
+	if err != nil {
+		return err
+	}
+	out := New(schema)
+	for i, t := range raw.Tuples {
+		if err := out.Insert(t); err != nil {
+			return fmt.Errorf("relation: tuple %d: %w", i, err)
+		}
+	}
+	*r = *out
+	return nil
+}
+
+// MarshalJSON renders the database as a JSON array of its relations in
+// index order.
+func (d *Database) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.rels)
+}
+
+// UnmarshalJSON reads a JSON array of relations into d, replacing its
+// contents. At least one relation is required (a database scheme is a
+// nonempty multiset).
+func (d *Database) UnmarshalJSON(data []byte) error {
+	var rels []*Relation
+	if err := json.Unmarshal(data, &rels); err != nil {
+		return err
+	}
+	db, err := NewDatabase(rels...)
+	if err != nil {
+		return err
+	}
+	*d = *db
+	return nil
+}

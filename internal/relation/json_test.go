@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRelationJSONRoundTrip(t *testing.T) {
+	r := New(MustSchema("A", "B"))
+	r.MustInsert(Tuple{Int(1), String("x")})
+	r.MustInsert(Tuple{Int(-9007199254740993), String("")}) // below float64 exactness
+	r.MustInsert(Tuple{Int(2), String("42")})               // integer-looking string
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Relation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(&back) {
+		t.Errorf("round trip changed the relation:\n%s\n%s", r, &back)
+	}
+}
+
+func TestDatabaseJSONRoundTrip(t *testing.T) {
+	mk := func(a, b string) *Relation {
+		r := New(MustSchema(a, b))
+		for i := int64(0); i < 5; i++ {
+			r.MustInsert(Ints(i, i+1))
+		}
+		return r
+	}
+	db := MustDatabase(mk("A", "B"), mk("B", "C"))
+	data, err := json.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Database
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("len %d, want %d", back.Len(), db.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !db.Relation(i).Equal(back.Relation(i)) {
+			t.Errorf("relation %d differs after round trip", i)
+		}
+	}
+}
+
+func TestRelationJSONDecodeLiteral(t *testing.T) {
+	var r Relation
+	if err := json.Unmarshal([]byte(`{"attrs":["A","B"],"tuples":[[1,2],[1,2],[3,"x"]]}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 { // duplicate [1,2] collapses
+		t.Errorf("len = %d, want 2 (set semantics)", r.Len())
+	}
+	if !r.Contains(Tuple{Int(3), String("x")}) {
+		t.Error("mixed-kind tuple missing")
+	}
+}
+
+func TestRelationJSONRejectsBadInput(t *testing.T) {
+	for name, input := range map[string]string{
+		"float value":     `{"attrs":["A"],"tuples":[[1.5]]}`,
+		"bool value":      `{"attrs":["A"],"tuples":[[true]]}`,
+		"arity mismatch":  `{"attrs":["A","B"],"tuples":[[1]]}`,
+		"duplicate attrs": `{"attrs":["A","A"],"tuples":[]}`,
+		"empty attr":      `{"attrs":[""],"tuples":[]}`,
+	} {
+		var r Relation
+		if err := json.Unmarshal([]byte(input), &r); err == nil {
+			t.Errorf("%s: accepted %s", name, input)
+		}
+	}
+	var d Database
+	if err := json.Unmarshal([]byte(`[]`), &d); err == nil || !strings.Contains(err.Error(), "at least one") {
+		t.Errorf("empty database accepted (err = %v)", err)
+	}
+}
+
+func TestValueJSONExactInt64(t *testing.T) {
+	// 2^53+1 is not representable as float64; json.Number must preserve it.
+	const big = int64(9007199254740993)
+	var v Value
+	if err := json.Unmarshal([]byte("9007199254740993"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindInt || v.AsInt() != big {
+		t.Errorf("got %v, want exact %d", v, big)
+	}
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// HTTP/JSON API (served by cmd/joind):
+//
+//	POST /v1/databases  register a named database
+//	GET  /v1/databases  list the catalog
+//	POST /v1/query      join a registered database
+//	GET  /v1/stats      service + plan-cache counters
+//	GET  /healthz       liveness
+//
+// Admission rejections (queue full, queue timeout, global budget) are 429;
+// a query's own resource aborts are 422 (tuple budget) or 504 (deadline);
+// unknown databases are 404; duplicate registrations are 409. The request
+// context is propagated into the governor, so a dropped connection cancels
+// the query's execution.
+
+// StatusClientClosedRequest is the nonstandard (nginx-convention) status
+// reported when the client went away mid-query.
+const StatusClientClosedRequest = 499
+
+// registerRequest is the body of POST /v1/databases.
+type registerRequest struct {
+	Name string `json:"name"`
+	// Relations is the database: a JSON array of
+	// {"attrs": [...], "tuples": [[...], ...]} objects.
+	Relations *relation.Database `json:"relations"`
+}
+
+// queryRequest is the body of POST /v1/query.
+type queryRequest struct {
+	Database              string `json:"database"`
+	Strategy              string `json:"strategy,omitempty"`
+	MaxTuples             int64  `json:"max_tuples,omitempty"`
+	MaxIntermediateTuples int64  `json:"max_intermediate_tuples,omitempty"`
+	TimeoutMS             int64  `json:"timeout_ms,omitempty"`
+	Indexed               bool   `json:"indexed,omitempty"`
+	// IncludeResult returns the result tuples (capped by MaxResultTuples).
+	IncludeResult bool `json:"include_result,omitempty"`
+	// MaxResultTuples caps the tuples echoed back when IncludeResult is set
+	// (0 = all). The join itself is not truncated — only the response body.
+	MaxResultTuples int `json:"max_result_tuples,omitempty"`
+}
+
+// queryResponse is the body of a successful POST /v1/query.
+type queryResponse struct {
+	Database    string   `json:"database"`
+	Strategy    string   `json:"strategy"`
+	Cost        int64    `json:"cost"`
+	Produced    int64    `json:"produced"`
+	ResultCount int      `json:"result_count"`
+	CacheHit    bool     `json:"cache_hit"`
+	QueueWaitMS float64  `json:"queue_wait_ms"`
+	Plan        string   `json:"plan,omitempty"`
+	Notes       []string `json:"notes,omitempty"`
+	// Result is present when include_result was set: the result relation,
+	// possibly truncated to max_result_tuples (see ResultTruncated).
+	Result          *relation.Relation `json:"result,omitempty"`
+	ResultTruncated bool               `json:"result_truncated,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure for scripting: "overloaded",
+	// "resource_limit", "deadline", "canceled", "not_found", "conflict",
+	// "bad_request", or "internal".
+	Kind string `json:"kind"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/databases", s.handleRegister)
+	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if req.Relations == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing \"relations\"")
+		return
+	}
+	info, err := s.Register(req.Name, req.Relations)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleListDatabases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Databases())
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	rep, err := s.Query(r.Context(), Request{
+		Database:              req.Database,
+		Strategy:              req.Strategy,
+		MaxTuples:             req.MaxTuples,
+		MaxIntermediateTuples: req.MaxIntermediateTuples,
+		Timeout:               time.Duration(req.TimeoutMS) * time.Millisecond,
+		Indexed:               req.Indexed,
+	})
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := queryResponse{
+		Database:    req.Database,
+		Strategy:    rep.Strategy.String(),
+		Cost:        rep.Cost,
+		Produced:    rep.Produced,
+		ResultCount: rep.Result.Len(),
+		CacheHit:    rep.PlanCacheHit,
+		QueueWaitMS: float64(rep.QueueWait) / float64(time.Millisecond),
+		Plan:        rep.Plan,
+		Notes:       rep.Notes,
+	}
+	if req.IncludeResult {
+		resp.Result, resp.ResultTruncated = truncate(rep.Result, req.MaxResultTuples)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// truncate returns r limited to max tuples (max <= 0 = no limit), and
+// whether truncation happened. Truncation keeps the sorted prefix so the
+// echoed sample is deterministic.
+func truncate(r *relation.Relation, max int) (*relation.Relation, bool) {
+	if max <= 0 || r.Len() <= max {
+		return r, false
+	}
+	out := relation.New(r.Schema())
+	for i, t := range r.SortedRows() {
+		if i == max {
+			break
+		}
+		out.MustInsert(t)
+	}
+	return out, true
+}
+
+// decodeJSON parses the body into v, writing a 400 and returning non-nil on
+// failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return err
+	}
+	return nil
+}
+
+// writeServiceError maps a service/engine/govern error to its HTTP status.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownDatabase):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrDuplicateDatabase):
+		writeError(w, http.StatusConflict, "conflict", err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	case errors.Is(err, govern.ErrTupleBudget):
+		writeError(w, http.StatusUnprocessableEntity, "resource_limit", err.Error())
+	case errors.Is(err, govern.ErrDeadline):
+		writeError(w, http.StatusGatewayTimeout, "deadline", err.Error())
+	case errors.Is(err, govern.ErrCanceled):
+		writeError(w, StatusClientClosedRequest, "canceled", err.Error())
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

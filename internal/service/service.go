@@ -1,0 +1,438 @@
+// Package service is the serving layer over the engine: a catalog of
+// registered named databases, a bounded worker pool with admission control
+// and queue timeouts, per-query resource limits carved from a configurable
+// global tuple budget, and a plan cache keyed by canonical scheme
+// fingerprint so repeat schemes skip optimizer search and Algorithm 1/2
+// derivation entirely (the paper's Theorems 1–2 are the license: a derived
+// program is correct and quasi-optimal for every instance over its scheme).
+//
+// cmd/joind exposes this over HTTP (see http.go); the package itself is
+// transport-agnostic and fully testable in-process.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/hypergraph"
+	"repro/internal/plancache"
+	"repro/internal/relation"
+)
+
+// Typed service errors; match with errors.Is. ErrQueueTimeout and
+// ErrBudgetExhausted wrap ErrOverloaded, so "reject with 429" is one check.
+var (
+	// ErrOverloaded reports that admission control rejected the query: the
+	// queue is full, the queue wait timed out, or the global tuple budget
+	// has no headroom. Serve it as HTTP 429.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrQueueTimeout is an ErrOverloaded for a query that waited its full
+	// queue timeout without getting a worker slot.
+	ErrQueueTimeout = fmt.Errorf("%w: queue wait timed out", ErrOverloaded)
+	// ErrBudgetExhausted is an ErrOverloaded for a query that could not
+	// carve its tuple budget from the global budget.
+	ErrBudgetExhausted = fmt.Errorf("%w: global tuple budget exhausted", ErrOverloaded)
+	// ErrUnknownDatabase reports a query against an unregistered name.
+	ErrUnknownDatabase = errors.New("service: unknown database")
+	// ErrDuplicateDatabase reports a Register with an already-taken name.
+	ErrDuplicateDatabase = errors.New("service: database already registered")
+	// ErrBadRequest reports a malformed request (e.g. an unknown strategy
+	// name). Serve it as HTTP 400.
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// Config sizes the service. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers is the number of queries executing concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many queries may wait for a slot before further
+	// arrivals are rejected immediately (default 4×Workers).
+	QueueDepth int
+	// QueueTimeout bounds how long an admitted-to-queue query waits for a
+	// worker slot before being rejected (default 5s).
+	QueueTimeout time.Duration
+	// PlanCacheSize is the plan cache capacity in entries
+	// (default plancache.DefaultCapacity).
+	PlanCacheSize int
+	// GlobalMaxTuples is the total tuple budget available to in-flight
+	// queries; each query reserves its per-query budget from it at
+	// admission and returns it on completion (0 = unlimited).
+	GlobalMaxTuples int64
+	// MaxTuplesPerQuery caps any single query's tuple budget. With a global
+	// budget set, it defaults to GlobalMaxTuples/Workers — the fair share —
+	// and is also what a query gets when it asks for no explicit limit.
+	MaxTuplesPerQuery int64
+	// DefaultTimeout is the per-query deadline applied when a request does
+	// not set one (0 = none).
+	DefaultTimeout time.Duration
+	// SearchBudget bounds optimizer search on plan-cache misses
+	// (engine Options.Budget; 0 = the optimizer default).
+	SearchBudget int64
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 5 * time.Second
+	}
+	if cfg.MaxTuplesPerQuery <= 0 && cfg.GlobalMaxTuples > 0 {
+		cfg.MaxTuplesPerQuery = cfg.GlobalMaxTuples / int64(cfg.Workers)
+		if cfg.MaxTuplesPerQuery < 1 {
+			cfg.MaxTuplesPerQuery = 1
+		}
+	}
+	return cfg
+}
+
+// DatabaseInfo describes one catalog entry.
+type DatabaseInfo struct {
+	Name        string `json:"name"`
+	Relations   int    `json:"relations"`
+	Tuples      int    `json:"tuples"`
+	Fingerprint string `json:"fingerprint"`
+	Acyclic     bool   `json:"acyclic"`
+}
+
+// catalogEntry is a registered database with its precomputed scheme facts.
+type catalogEntry struct {
+	name        string
+	db          *relation.Database
+	fingerprint string
+	acyclic     bool
+}
+
+// Request is one query against a registered database.
+type Request struct {
+	// Database is the catalog name to join.
+	Database string
+	// Strategy names the execution strategy ("" = auto).
+	Strategy string
+	// MaxTuples caps this query's generated tuples. 0 takes the service
+	// default (the fair share of the global budget, if one is set); a
+	// nonzero ask is clamped to Config.MaxTuplesPerQuery.
+	MaxTuples int64
+	// MaxIntermediateTuples caps any single operator's output (0 = none).
+	MaxIntermediateTuples int64
+	// Timeout is this query's deadline (0 = Config.DefaultTimeout).
+	Timeout time.Duration
+	// Indexed runs derived programs through the index-sharing executor.
+	Indexed bool
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Databases int   `json:"databases"`
+	Workers   int   `json:"workers"`
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+	// Queries counts admitted executions; Rejected counts admission
+	// failures (queue full, queue timeout, budget exhausted).
+	Queries   int64 `json:"queries"`
+	Succeeded int64 `json:"succeeded"`
+	Rejected  int64 `json:"rejected"`
+	// Aborted counts queries that hit their own resource limits
+	// (tuple budget, deadline, cancellation).
+	Aborted int64 `json:"aborted"`
+	Failed  int64 `json:"failed"`
+	// Degraded counts cached-plan executions that blew their budget and
+	// fell back to the engine's governed degradation ladder.
+	Degraded int64 `json:"degraded"`
+	// GlobalTuplesRemaining is the unreserved part of the global budget
+	// (-1 when no global budget is configured).
+	GlobalTuplesRemaining int64           `json:"global_tuples_remaining"`
+	PlanCache             plancache.Stats `json:"plan_cache"`
+}
+
+// Service serves joins over a catalog of registered databases. Construct
+// with New; all methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	cache *plancache.Cache
+	slots chan struct{}
+
+	mu  sync.RWMutex
+	dbs map[string]*catalogEntry
+
+	queued          atomic.Int64
+	inFlight        atomic.Int64
+	budgetRemaining atomic.Int64 // meaningful only when cfg.GlobalMaxTuples > 0
+
+	queries, succeeded, rejected, aborted, failed, degraded atomic.Int64
+}
+
+// New builds a service from cfg (zero fields get defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: plancache.New(cfg.PlanCacheSize),
+		slots: make(chan struct{}, cfg.Workers),
+		dbs:   make(map[string]*catalogEntry),
+	}
+	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Register adds a named database to the catalog. The scheme's fingerprint
+// and acyclicity are computed once here, so the query path never re-derives
+// them. Names are unique; re-registering is an error (drop-and-replace is a
+// deliberate non-feature: cached plans for the fingerprint stay valid
+// because plans depend only on the scheme, but silent replacement invites
+// confusion about which instance answered).
+func (s *Service) Register(name string, db *relation.Database) (DatabaseInfo, error) {
+	if name == "" {
+		return DatabaseInfo{}, fmt.Errorf("service: database name must be nonempty")
+	}
+	if db == nil || db.Len() == 0 {
+		return DatabaseInfo{}, fmt.Errorf("service: database %q is empty", name)
+	}
+	h := hypergraph.OfScheme(db)
+	e := &catalogEntry{
+		name:        name,
+		db:          db,
+		fingerprint: h.Fingerprint(),
+		acyclic:     h.Acyclic(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.dbs[name]; dup {
+		return DatabaseInfo{}, fmt.Errorf("%w: %q", ErrDuplicateDatabase, name)
+	}
+	s.dbs[name] = e
+	return s.info(e), nil
+}
+
+// info renders a catalog entry.
+func (s *Service) info(e *catalogEntry) DatabaseInfo {
+	return DatabaseInfo{
+		Name:        e.name,
+		Relations:   e.db.Len(),
+		Tuples:      e.db.TotalTuples(),
+		Fingerprint: e.fingerprint,
+		Acyclic:     e.acyclic,
+	}
+}
+
+// Databases lists the catalog in name order.
+func (s *Service) Databases() []DatabaseInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DatabaseInfo, 0, len(s.dbs))
+	for _, e := range s.dbs {
+		out = append(out, s.info(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookup resolves a catalog name.
+func (s *Service) lookup(name string) (*catalogEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, name)
+	}
+	return e, nil
+}
+
+// acquire implements admission control: it takes a worker slot, waiting up
+// to QueueTimeout while at most QueueDepth queries are already waiting.
+// It returns the time spent queued and a release function.
+func (s *Service) acquire(ctx context.Context) (time.Duration, func(), error) {
+	release := func() {
+		<-s.slots
+		s.inFlight.Add(-1)
+	}
+	// Fast path: a free slot, no queue wait.
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Add(1)
+		return 0, release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return 0, nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, s.cfg.QueueDepth)
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Add(1)
+		return time.Since(start), release, nil
+	case <-timer.C:
+		return 0, nil, ErrQueueTimeout
+	case <-ctx.Done():
+		return 0, nil, &govern.AbortError{Op: "service.queue", Sentinel: govern.ErrCanceled, Cause: ctx.Err()}
+	}
+}
+
+// carve reserves a per-query tuple budget from the global budget. It
+// returns the granted budget (0 = unlimited) and a function returning the
+// reservation.
+func (s *Service) carve(asked int64) (int64, func(), error) {
+	grant := asked
+	if s.cfg.MaxTuplesPerQuery > 0 && (grant <= 0 || grant > s.cfg.MaxTuplesPerQuery) {
+		grant = s.cfg.MaxTuplesPerQuery
+	}
+	if s.cfg.GlobalMaxTuples <= 0 {
+		return grant, func() {}, nil
+	}
+	// With a global budget, every query must hold a concrete reservation.
+	if grant <= 0 {
+		grant = s.cfg.MaxTuplesPerQuery
+	}
+	for {
+		rem := s.budgetRemaining.Load()
+		if rem < grant {
+			return 0, nil, fmt.Errorf("%w: %d tuples requested, %d unreserved", ErrBudgetExhausted, grant, rem)
+		}
+		if s.budgetRemaining.CompareAndSwap(rem, rem-grant) {
+			return grant, func() { s.budgetRemaining.Add(grant) }, nil
+		}
+	}
+}
+
+// Query joins the named database under the request's limits. The flow is:
+// admission (worker slot with queue timeout), budget carving, plan-cache
+// lookup keyed by scheme fingerprint + resolved strategy (a miss derives
+// the plan once, coalescing concurrent misses), governed execution of the
+// plan, and — if a cached plan blows its tuple budget under the auto
+// strategy — a fallback to the engine's degradation ladder. The returned
+// Report carries PlanCacheHit and QueueWait.
+func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error) {
+	e, err := s.lookup(req.Database)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := engine.ParseStrategy(strategyName(req.Strategy))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	wait, releaseSlot, err := s.acquire(ctx)
+	if err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+	defer releaseSlot()
+	grant, releaseBudget, err := s.carve(req.MaxTuples)
+	if err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+	defer releaseBudget()
+	s.queries.Add(1)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	lim := govern.Limits{
+		MaxTuples:             grant,
+		MaxIntermediateTuples: req.MaxIntermediateTuples,
+		Context:               ctx,
+	}.WithTimeout(timeout)
+	opts := engine.Options{
+		Strategy:         strat,
+		Budget:           s.cfg.SearchBudget,
+		IndexedExecution: req.Indexed,
+		Limits:           lim,
+	}
+
+	// Resolve auto against the registered scheme so the cache key pins the
+	// actual route; two names over the same scheme share plans.
+	resolved := strat
+	if resolved == engine.StrategyAuto {
+		if e.acyclic {
+			resolved = engine.StrategyAcyclic
+		} else {
+			resolved = engine.StrategyProgram
+		}
+	}
+	key := e.fingerprint + "#" + resolved.String()
+	plan, hit, err := s.cache.GetOrCompute(key, func() (*engine.Plan, error) {
+		return engine.PlanFor(e.db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget})
+	})
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+
+	rep, err := engine.ExecutePlan(e.db, plan, opts)
+	if err != nil && strat == engine.StrategyAuto && errors.Is(err, govern.ErrTupleBudget) {
+		// The cached plan blew this query's budget; hand the query to the
+		// engine's governed degradation ladder, which tries cheaper
+		// machinery rung by rung with fresh per-attempt budgets.
+		s.degraded.Add(1)
+		rep, err = engine.Join(e.db, opts)
+		if err == nil {
+			rep.Notes = append(rep.Notes, "plan cache: cached plan exceeded budget; re-ran degradation ladder")
+		}
+	}
+	if err != nil {
+		if errors.Is(err, govern.ErrTupleBudget) || errors.Is(err, govern.ErrDeadline) || errors.Is(err, govern.ErrCanceled) {
+			s.aborted.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		return nil, err
+	}
+	rep.PlanCacheHit = hit
+	rep.QueueWait = wait
+	s.succeeded.Add(1)
+	return rep, nil
+}
+
+// strategyName maps the empty request strategy to auto.
+func strategyName(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.dbs)
+	s.mu.RUnlock()
+	remaining := int64(-1)
+	if s.cfg.GlobalMaxTuples > 0 {
+		remaining = s.budgetRemaining.Load()
+	}
+	return Stats{
+		Databases:             n,
+		Workers:               s.cfg.Workers,
+		InFlight:              s.inFlight.Load(),
+		Queued:                s.queued.Load(),
+		Queries:               s.queries.Load(),
+		Succeeded:             s.succeeded.Load(),
+		Rejected:              s.rejected.Load(),
+		Aborted:               s.aborted.Load(),
+		Failed:                s.failed.Load(),
+		Degraded:              s.degraded.Load(),
+		GlobalTuplesRemaining: remaining,
+		PlanCache:             s.cache.Stats(),
+	}
+}

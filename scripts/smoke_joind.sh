@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Smoke test for joind: build it, start it, register the triangle example
+# database, run one query, and assert a 200 with a nonempty result. CI runs
+# this after the unit tests; it is also handy locally:
+#
+#   ./scripts/smoke_joind.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+
+go build -o /tmp/joind ./cmd/joind
+/tmp/joind -addr "$ADDR" -workers 2 -global-max-tuples 100000 &
+JOIND_PID=$!
+trap 'kill "$JOIND_PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Register the triangle example database.
+code=$(curl -sS -o /tmp/joind_register.json -w '%{http_code}' \
+    -X POST "$BASE/v1/databases" \
+    -H 'Content-Type: application/json' \
+    --data @examples/joind/triangle.json)
+if [ "$code" != "201" ]; then
+    echo "register: expected 201, got $code:" >&2
+    cat /tmp/joind_register.json >&2
+    exit 1
+fi
+
+# Query it twice: both must be 200 with a nonempty result, and the second
+# must be a plan-cache hit.
+query() {
+    curl -sS -o "$1" -w '%{http_code}' \
+        -X POST "$BASE/v1/query" \
+        -H 'Content-Type: application/json' \
+        -d '{"database":"triangle","include_result":true}'
+}
+for out in /tmp/joind_query1.json /tmp/joind_query2.json; do
+    code=$(query "$out")
+    if [ "$code" != "200" ]; then
+        echo "query: expected 200, got $code:" >&2
+        cat "$out" >&2
+        exit 1
+    fi
+    grep -q '"result_count":3' "$out" || {
+        echo "query: expected a nonempty result (result_count 3):" >&2
+        cat "$out" >&2
+        exit 1
+    }
+done
+grep -q '"cache_hit":true' /tmp/joind_query2.json || {
+    echo "second query was not a plan-cache hit:" >&2
+    cat /tmp/joind_query2.json >&2
+    exit 1
+}
+
+# Stats must show the hit too.
+curl -fsS "$BASE/v1/stats" | grep -q '"hits":1' || {
+    echo "stats did not record the plan-cache hit" >&2
+    exit 1
+}
+
+echo "joind smoke: OK (register 201, two 200 queries, second was a cache hit)"
