@@ -36,6 +36,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "suite deadline, checked between experiments (0 = none)")
 	maxTuples := flag.Int64("max-tuples", 0, "tuple budget for the EX6 governance experiment (0 = its default)")
 	jsonOut := flag.String("json", "", "write per-experiment results as JSON to this file (\"-\" for stdout)")
+	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "write the EX7 speedup table as JSON to this file when EX7 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -64,9 +65,11 @@ func main() {
 	trials := 200
 	measured := []int64{6, 10, 16, 20}
 	e3Scale := int64(10)
+	ex7Scale, ex7Trials := int64(20), 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
+		ex7Scale, ex7Trials = 12, 2
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -94,6 +97,15 @@ func main() {
 		{"EX4", func() (*experiments.Table, error) { return experiments.EstimatorAccuracy(*seed) }},
 		{"EX5", func() (*experiments.Table, error) { return experiments.TriangleExperiment(*seed) }},
 		{"EX6", func() (*experiments.Table, error) { return experiments.GovernanceLadder(e3Scale, *maxTuples) }},
+		{"EX7", func() (*experiments.Table, error) {
+			table, bench, err := experiments.ParallelSpeedup(ex7Scale, ex7Trials)
+			if err == nil && *parallelJSON != "" {
+				if werr := writeParallelBench(*parallelJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
 	}
 
 	fmt.Println("Reproduction suite — Morishita, \"Avoiding Cartesian Products in Programs for Multiple Joins\" (PODS 1992)")
@@ -163,6 +175,24 @@ type experimentResult struct {
 	Columns []string   `json:"columns,omitempty"`
 	Rows    [][]string `json:"rows,omitempty"`
 	Notes   []string   `json:"notes,omitempty"`
+}
+
+// writeParallelBench stores the EX7 machine-readable speedup table
+// (-parallel-json; "-" = stdout).
+func writeParallelBench(path string, bench *experiments.ParallelBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
 }
 
 // writeResults stores the -json report ("-" = stdout).

@@ -8,7 +8,8 @@
 //
 //	joind [-addr :8080] [-workers n] [-queue-depth n] [-queue-timeout 5s]
 //	      [-plan-cache 128] [-global-max-tuples n] [-max-tuples-per-query n]
-//	      [-default-timeout d] [-search-budget n] [-preload name=r1.tsv,r2.tsv,...]
+//	      [-default-timeout d] [-search-budget n] [-query-workers n]
+//	      [-worker-budget n] [-preload name=r1.tsv,r2.tsv,...]
 //
 // API (see docs/SERVICE.md for the full reference and a worked session):
 //
@@ -50,6 +51,8 @@ func main() {
 	maxTuplesPerQuery := flag.Int64("max-tuples-per-query", 0, "per-query tuple budget cap (0 = fair share of global budget)")
 	defaultTimeout := flag.Duration("default-timeout", 0, "per-query deadline when the request sets none (0 = none)")
 	searchBudget := flag.Int64("search-budget", 0, "optimizer search budget on plan-cache misses (0 = optimizer default)")
+	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism cap per query (0 or 1 = sequential)")
+	workerBudget := flag.Int64("worker-budget", 0, "total intra-query worker goroutines across queries (0 = workers × query-workers)")
 	preload := flag.String("preload", "", "semicolon-separated name=r1.tsv,r2.tsv,... databases to register at startup")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
@@ -63,6 +66,8 @@ func main() {
 		MaxTuplesPerQuery: *maxTuplesPerQuery,
 		DefaultTimeout:    *defaultTimeout,
 		SearchBudget:      *searchBudget,
+		QueryWorkers:      *queryWorkers,
+		WorkerBudget:      *workerBudget,
 	})
 	if *preload != "" {
 		if err := preloadDatabases(svc, *preload); err != nil {
@@ -78,7 +83,8 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() {
 		cfg := svc.Config()
-		log.Printf("joind: listening on %s (workers %d, queue depth %d)", *addr, cfg.Workers, cfg.QueueDepth)
+		log.Printf("joind: listening on %s (workers %d, queue depth %d, query workers %d)",
+			*addr, cfg.Workers, cfg.QueueDepth, cfg.QueryWorkers)
 		errCh <- srv.ListenAndServe()
 	}()
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/optimizer"
+	"repro/internal/program"
 	"repro/internal/relation"
 )
 
@@ -88,6 +89,23 @@ type Options struct {
 	// starts with fresh counters (an aborted attempt's intermediates are
 	// discarded), while the deadline and context are absolute and shared.
 	Limits govern.Limits
+	// Workers enables governed intra-query parallelism: program statements
+	// are scheduled over their dependency DAG and joins, semijoins, and
+	// projections run partition-parallel with up to Workers goroutines,
+	// all charging the same governor budgets. 0 or 1 executes sequentially
+	// (the default); results are identical either way. Workers is honored by
+	// direct Join calls and by cached-Plan execution; the acyclic pipeline
+	// runs sequentially regardless (its semijoin passes are already linear
+	// in the inputs).
+	Workers int
+}
+
+// workerCount normalizes Options.Workers: anything below 2 is sequential.
+func (o Options) workerCount() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Report is the outcome of Join: the result plus everything an EXPLAIN
@@ -117,6 +135,22 @@ type Report struct {
 	// QueueWait is how long the query waited for a worker slot before
 	// executing (set by the serving layer; zero for direct Join calls).
 	QueueWait time.Duration
+	// Parallelism is the intra-query worker count execution ran with
+	// (1 = sequential).
+	Parallelism int
+	// Steps carries per-statement timings for the program strategies (nil
+	// for the expression and pipeline strategies, whose plans are not
+	// statement lists). Under parallel execution concurrent steps overlap,
+	// so their Walls sum to more than the query's elapsed time.
+	Steps []StepTiming
+}
+
+// StepTiming is one executed program statement's contribution: its §2.3
+// head cardinality and its wall-clock time.
+type StepTiming struct {
+	Stmt   string        `json:"stmt"`
+	Tuples int           `json:"tuples"`
+	Wall   time.Duration `json:"wall"`
 }
 
 // Explain renders the report for humans.
@@ -130,6 +164,15 @@ func (r *Report) Explain() string {
 	}
 	if r.QueueWait > 0 {
 		fmt.Fprintf(&b, "queue wait: %s\n", r.QueueWait)
+	}
+	if r.Parallelism > 1 {
+		fmt.Fprintf(&b, "parallelism: %d workers\n", r.Parallelism)
+	}
+	if len(r.Steps) > 0 {
+		b.WriteString("steps:\n")
+		for _, s := range r.Steps {
+			fmt.Fprintf(&b, "  %-40s %8d tuples %12s\n", s.Stmt, s.Tuples, s.Wall.Round(time.Microsecond))
+		}
 	}
 	if r.Plan != "" {
 		b.WriteString("plan:\n")
@@ -189,7 +232,7 @@ func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy
 	case StrategyAcyclic:
 		rep, err = joinAcyclic(db, h, gov)
 	case StrategyDirect:
-		rep, err = joinDirect(db, h, gov)
+		rep, err = joinDirect(db, h, opts, gov)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", strat)
 	}
@@ -197,7 +240,32 @@ func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy
 		return nil, err
 	}
 	rep.Produced = gov.Produced()
+	rep.Parallelism = opts.workerCount()
 	return rep, nil
+}
+
+// runProgram picks the program executor the options ask for: the
+// DAG-parallel executor when Workers > 1, the index-sharing executor when
+// requested, else the plain interpreter. All three produce identical
+// Results; they differ only in wall-clock work.
+func runProgram(p *program.Program, db *relation.Database, gov *govern.Governor, opts Options) (*program.Result, error) {
+	switch {
+	case opts.workerCount() > 1:
+		return p.ApplyParallelGoverned(db, gov, opts.workerCount())
+	case opts.IndexedExecution:
+		return p.ApplyIndexedGoverned(db, gov)
+	default:
+		return p.ApplyGoverned(db, gov)
+	}
+}
+
+// stepTimings converts a program trace into Report.Steps.
+func stepTimings(trace []program.Step) []StepTiming {
+	out := make([]StepTiming, len(trace))
+	for i, s := range trace {
+		out[i] = StepTiming{Stmt: s.Stmt.String(), Tuples: s.Size, Wall: s.Wall}
+	}
+	return out
 }
 
 // DegradationLadder returns the strategy ladder governed Auto execution
@@ -286,25 +354,27 @@ func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options, 
 	if err != nil {
 		return nil, err
 	}
-	apply := d.Program.ApplyGoverned
-	if opts.IndexedExecution {
-		apply = d.Program.ApplyIndexedGoverned
-	}
-	res, err := apply(db, gov)
+	res, err := runProgram(d.Program, db, gov, opts)
 	if err != nil {
 		return nil, err
 	}
 	projects, joins, semijoins := d.Program.OpCounts()
+	notes := []string{
+		"optimized by " + how,
+		fmt.Sprintf("program: %d projections, %d joins, %d semijoins", projects, joins, semijoins),
+		fmt.Sprintf("Theorem 2 bound factor r(a+5) = %d", d.QuasiFactor),
+	}
+	if w := opts.workerCount(); w > 1 {
+		notes = append(notes, fmt.Sprintf("parallel DAG execution: %d statements, critical path %d, %d workers",
+			d.Program.Len(), d.Program.CriticalPathLen(), w))
+	}
 	return &Report{
 		Result:   res.Output,
 		Strategy: StrategyProgram,
 		Cost:     int64(res.Cost),
 		Plan:     "source expression: " + tree.String(h) + "\n" + d.Program.String(),
-		Notes: []string{
-			"optimized by " + how,
-			fmt.Sprintf("program: %d projections, %d joins, %d semijoins", projects, joins, semijoins),
-			fmt.Sprintf("Theorem 2 bound factor r(a+5) = %d", d.QuasiFactor),
-		},
+		Steps:    stepTimings(res.Trace),
+		Notes:    notes,
 	}, nil
 }
 
@@ -320,7 +390,7 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 	if err != nil {
 		return nil, err
 	}
-	out, cost, err := tree.EvalGoverned(db, gov)
+	out, cost, err := tree.EvalParallelGoverned(db, gov, opts.workerCount())
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +418,7 @@ func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Op
 	if err != nil {
 		return nil, err
 	}
-	out, joinCost, err := tree.EvalGoverned(red.Database, gov)
+	out, joinCost, err := tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
 	if err != nil {
 		return nil, err
 	}
@@ -386,12 +456,12 @@ func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Go
 }
 
 // joinDirect folds the relations left to right.
-func joinDirect(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Governor) (*Report, error) {
+func joinDirect(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
 	tree := jointree.NewLeaf(0)
 	for i := 1; i < db.Len(); i++ {
 		tree = jointree.NewJoin(tree, jointree.NewLeaf(i))
 	}
-	out, cost, err := tree.EvalGoverned(db, gov)
+	out, cost, err := tree.EvalParallelGoverned(db, gov, opts.workerCount())
 	if err != nil {
 		return nil, err
 	}

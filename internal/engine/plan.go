@@ -179,9 +179,11 @@ func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
 // ExecutePlan runs a previously derived plan against db, which must be over
 // the same scheme (equal Fingerprint; any edge order). No optimizer search
 // or algorithm derivation happens here — this is the serving hot path.
-// Options.Limits and Options.IndexedExecution apply; Options.Strategy and
-// Options.Budget are ignored (the plan fixed both). The plan is not
-// mutated, so concurrent ExecutePlan calls on one plan are safe.
+// Options.Limits, Options.IndexedExecution, and Options.Workers apply;
+// Options.Strategy and Options.Budget are ignored (the plan fixed both).
+// The plan is not mutated, so concurrent ExecutePlan calls on one plan are
+// safe — including parallel executions of the same cached plan, each with
+// its own governor and worker pool.
 func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("engine: nil plan")
@@ -204,11 +206,7 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 	var rep *Report
 	switch plan.Strategy {
 	case StrategyProgram:
-		apply := plan.Derivation.Program.ApplyGoverned
-		if opts.IndexedExecution {
-			apply = plan.Derivation.Program.ApplyIndexedGoverned
-		}
-		res, err := apply(cdb, gov)
+		res, err := runProgram(plan.Derivation.Program, cdb, gov, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -217,9 +215,10 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 			Strategy: StrategyProgram,
 			Cost:     int64(res.Cost),
 			Plan:     "source expression: " + plan.Tree.String(ch) + "\n" + plan.Derivation.Program.String(),
+			Steps:    stepTimings(res.Trace),
 		}
 	case StrategyExpression, StrategyDirect:
-		out, cost, err := plan.Tree.EvalGoverned(cdb, gov)
+		out, cost, err := plan.Tree.EvalParallelGoverned(cdb, gov, opts.workerCount())
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +233,7 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 		if err != nil {
 			return nil, err
 		}
-		out, joinCost, err := plan.Tree.EvalGoverned(red.Database, gov)
+		out, joinCost, err := plan.Tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
 		if err != nil {
 			return nil, err
 		}
@@ -266,5 +265,6 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 	// Append the plan-time notes without mutating the shared plan.
 	rep.Notes = append(rep.Notes, plan.Notes...)
 	rep.Produced = gov.Produced()
+	rep.Parallelism = opts.workerCount()
 	return rep, nil
 }

@@ -196,6 +196,10 @@ func (g *Governor) Produced() int64 {
 // within one operator step even if no tuples flow. The returned scope
 // charges the operator's output; both returns of a nil Governor are nil,
 // and a nil *OpScope is valid.
+//
+// Begin itself is safe to call from concurrent operators (the parallel
+// program executor begins several statements at once); the failpoint hook
+// must have been installed before execution started.
 func (g *Governor) Begin(op string) (*OpScope, error) {
 	if g == nil {
 		return nil, nil
@@ -212,7 +216,9 @@ func (g *Governor) Begin(op string) (*OpScope, error) {
 		// Only fault injection applies: skip per-tuple accounting entirely.
 		return nil, nil
 	}
-	return &OpScope{g: g, op: op, tick: g.checkEvery}, nil
+	s := &OpScope{g: g, op: op}
+	s.tick.Store(int64(g.checkEvery))
+	return s, nil
 }
 
 // poll checks context cancellation and the deadline.
@@ -237,11 +243,18 @@ func (g *Governor) poll(op string) error {
 
 // OpScope tracks one operator's output against the governor. The nil scope
 // (from a nil Governor) accepts everything.
+//
+// The counters are atomic, so one scope may be charged from many goroutines
+// at once: a parallel operator begins a single scope and has every partition
+// worker call Add with its deltas, which keeps MaxIntermediateTuples a
+// property of the whole operator's output rather than of any one partition.
+// Visit's cardinality-delta protocol is inherently single-writer; concurrent
+// chargers must use Add.
 type OpScope struct {
 	g        *Governor
 	op       string
-	produced int64
-	tick     int
+	produced atomic.Int64
+	tick     atomic.Int64
 }
 
 // Visit is called once per operator loop iteration with the operator's
@@ -249,25 +262,52 @@ type OpScope struct {
 // against both budgets and periodically polls cancellation/deadline (every
 // CheckEvery iterations, so a mid-operator cancellation is still observed
 // promptly on iterations that produce nothing, e.g. a probe streak with no
-// matches).
+// matches). Visit is for sequential operators — a single goroutine owns the
+// cumulative count; concurrent partition workers charge with Add instead.
 func (s *OpScope) Visit(produced int) error {
 	if s == nil {
 		return nil
 	}
+	delta := int64(produced) - s.produced.Load()
+	if delta < 0 {
+		delta = 0
+	}
+	return s.add(delta)
+}
+
+// Add charges delta newly produced tuples against both budgets and, like
+// Visit, polls cancellation/deadline every CheckEvery calls — so workers
+// should call it once per loop iteration even when the iteration produced
+// nothing (delta 0), or a probe streak with no matches would never observe
+// a cancellation. Add is safe for concurrent use: the per-operator and
+// global counters are atomic, and the budget checks read the post-add
+// totals, so across racing workers exactly the charges that fit the budget
+// succeed and the first overshooting charge fails.
+func (s *OpScope) Add(delta int) error {
+	if s == nil {
+		return nil
+	}
+	if delta < 0 {
+		delta = 0
+	}
+	return s.add(int64(delta))
+}
+
+// add is the shared charging core of Visit and Add.
+func (s *OpScope) add(delta int64) error {
 	g := s.g
-	if delta := int64(produced) - s.produced; delta > 0 {
-		s.produced = int64(produced)
+	if delta > 0 {
+		opTotal := s.produced.Add(delta)
 		total := g.produced.Add(delta)
-		if g.lim.MaxIntermediateTuples > 0 && s.produced > g.lim.MaxIntermediateTuples {
-			return &LimitError{Op: s.op, Limit: "MaxIntermediateTuples", Max: g.lim.MaxIntermediateTuples, Produced: s.produced}
+		if g.lim.MaxIntermediateTuples > 0 && opTotal > g.lim.MaxIntermediateTuples {
+			return &LimitError{Op: s.op, Limit: "MaxIntermediateTuples", Max: g.lim.MaxIntermediateTuples, Produced: opTotal}
 		}
 		if g.lim.MaxTuples > 0 && total > g.lim.MaxTuples {
 			return &LimitError{Op: s.op, Limit: "MaxTuples", Max: g.lim.MaxTuples, Produced: total}
 		}
 	}
-	s.tick--
-	if s.tick <= 0 {
-		s.tick = g.checkEvery
+	if s.tick.Add(-1) <= 0 {
+		s.tick.Store(int64(g.checkEvery))
 		return g.poll(s.op)
 	}
 	return nil

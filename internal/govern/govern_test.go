@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -234,5 +235,111 @@ func TestEnabled(t *testing.T) {
 		if got := c.lim.Enabled(); got != c.want {
 			t.Errorf("case %d: Enabled = %v, want %v", i, got, c.want)
 		}
+	}
+}
+
+func TestSharedScopeConcurrentAdd(t *testing.T) {
+	// One operator scope charged from many partition workers: the exact
+	// total must land on both the scope and the governor.
+	g := New(Limits{MaxTuples: 1_000_000})
+	scope, err := g.Begin("relation.ParallelJoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				if err := scope.Add(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Produced(); got != 8*1000 {
+		t.Fatalf("Produced = %d, want %d", got, 8*1000)
+	}
+}
+
+func TestSharedScopeIntermediateBudgetIsPerOperator(t *testing.T) {
+	// MaxIntermediateTuples bounds the whole operator's output, not any one
+	// worker's share: 4 workers× 400 tuples must trip a 1000-tuple limit
+	// even though every worker stays under it individually.
+	g := New(Limits{MaxIntermediateTuples: 1000})
+	scope, err := g.Begin("relation.ParallelJoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tripped atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 400; n++ {
+				if err := scope.Add(1); err != nil {
+					if !errors.Is(err, ErrTupleBudget) {
+						t.Errorf("got %v, want ErrTupleBudget", err)
+					}
+					tripped.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tripped.Load() == 0 {
+		t.Fatal("no worker observed the shared intermediate budget")
+	}
+}
+
+func TestSharedScopeAddZeroPollsCancellation(t *testing.T) {
+	// A probe streak with no matches still observes a cancellation: Add(0)
+	// ticks the poll counter.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(Limits{Context: ctx, CheckEvery: 16})
+	scope, err := g.Begin("relation.ParallelJoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var aborted error
+	for i := 0; i < 64 && aborted == nil; i++ {
+		aborted = scope.Add(0)
+	}
+	if !errors.Is(aborted, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", aborted)
+	}
+}
+
+func TestSharedScopeExactBudgetNotExceeded(t *testing.T) {
+	// Racing workers charging exactly the budget must all succeed; one more
+	// charge must fail. The budget check reads post-add totals, so the
+	// outcome is deterministic regardless of interleaving.
+	g := New(Limits{MaxTuples: 800})
+	scope, err := g.Begin("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 100; n++ {
+				if err := scope.Add(1); err != nil {
+					t.Errorf("charge within budget failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := scope.Add(1); !errors.Is(err, ErrTupleBudget) {
+		t.Fatalf("charge beyond budget: got %v, want ErrTupleBudget", err)
 	}
 }

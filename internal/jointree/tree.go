@@ -219,6 +219,44 @@ func (t *Tree) EvalGoverned(db *relation.Database, g *govern.Governor) (*relatio
 	return out, out.Len() + cl + cr, nil
 }
 
+// EvalParallelGoverned is EvalGoverned with intra-query parallelism: the
+// two subtrees of every join node evaluate concurrently, and each join runs
+// the partition-parallel operator with up to workers goroutines charging one
+// shared governor scope. Result, cost, and budget-abort behavior match
+// EvalGoverned; workers <= 1 falls back to it.
+func (t *Tree) EvalParallelGoverned(db *relation.Database, g *govern.Governor, workers int) (*relation.Relation, int, error) {
+	if workers <= 1 {
+		return t.EvalGoverned(db, g)
+	}
+	if t.IsLeaf() {
+		r := db.Relation(t.Leaf)
+		return r, r.Len(), nil
+	}
+	var (
+		r    *relation.Relation
+		cr   int
+		rErr error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		r, cr, rErr = t.Right.EvalParallelGoverned(db, g, workers)
+	}()
+	l, cl, lErr := t.Left.EvalParallelGoverned(db, g, workers)
+	<-done
+	if lErr != nil {
+		return nil, 0, lErr
+	}
+	if rErr != nil {
+		return nil, 0, rErr
+	}
+	out, err := relation.ParallelJoinGoverned(g, l, r, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, out.Len() + cl + cr, nil
+}
+
 // Cost returns only the cost of Eval.
 func (t *Tree) Cost(db *relation.Database) int {
 	_, c := t.Eval(db)

@@ -1,0 +1,249 @@
+package program
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// The parallel executor runs a program as a step-dependency DAG instead of a
+// straight line. The paper's programs use destructive assignment, so the
+// textual statement order carries write-after-read and write-after-write
+// hazards as well as true data dependencies; the executor removes the false
+// hazards by renaming: every statement's result is a fresh version (SSA
+// style), each operand binds to the version visible at the statement's
+// program point, and only true read-after-write edges remain. Statements
+// whose edges are satisfied run concurrently on a bounded worker pool — in
+// a derived Algorithm-2 program the per-subtree semijoin chains are mutually
+// independent, so the DAG's width is roughly the number of join-tree
+// branches.
+//
+// Resource governance is unchanged: every statement begins the same
+// "program.Stmt" governor site as the sequential executor, the relation
+// operators charge the same tuple totals (the parallel operator variants
+// charge into one shared scope per operator), and an abort returns the typed
+// govern error with no partial Result.
+
+// valueRef identifies the producer of one operand version: statement index
+// i >= 0, or input k encoded as -(k+1).
+type valueRef int
+
+// inputRef encodes input k as a valueRef.
+func inputRef(k int) valueRef { return valueRef(-(k + 1)) }
+
+// stmtNode is one statement's resolved dependencies.
+type stmtNode struct {
+	arg1, arg2 valueRef
+	hasArg2    bool
+}
+
+// buildDAG renames the program into SSA form: each statement's operands are
+// resolved to the defining statement (or input) of the version visible at
+// its program point, and the final output version is returned. Validate must
+// have accepted p already.
+func (p *Program) buildDAG() (nodes []stmtNode, output valueRef) {
+	lastDef := make(map[string]valueRef, len(p.Inputs)+len(p.Stmts))
+	for k, name := range p.Inputs {
+		lastDef[name] = inputRef(k)
+	}
+	nodes = make([]stmtNode, len(p.Stmts))
+	for i, s := range p.Stmts {
+		n := stmtNode{arg1: lastDef[s.Arg1]}
+		if s.Op != OpProject {
+			n.arg2 = lastDef[s.Arg2]
+			n.hasArg2 = true
+		}
+		nodes[i] = n
+		lastDef[s.Head] = valueRef(i)
+	}
+	return nodes, lastDef[p.Output]
+}
+
+// ApplyParallel executes the program on db like Apply, but schedules
+// statements over their dependency DAG on a pool of up to workers
+// goroutines, and runs each join, semijoin, and projection through the
+// partition-parallel relation operators. The Result — output, §2.3 cost,
+// and trace order — is identical to Apply's; only wall-clock work and the
+// per-step Wall timings differ.
+func (p *Program) ApplyParallel(db *relation.Database, workers int) (*Result, error) {
+	return p.ApplyParallelGoverned(db, nil, workers)
+}
+
+// ApplyParallelGoverned is ApplyParallel under a governor, with the same
+// abort semantics as ApplyGoverned: statement heads are charged (through the
+// parallel operators' shared scopes, so budgets see the same totals), the
+// failpoint site "program.Stmt" fires per statement, and an abort returns
+// the governor's typed error with no partial Result. workers <= 0 means
+// GOMAXPROCS; workers == 1 still schedules over the DAG, on a single
+// goroutine.
+func (p *Program) ApplyParallelGoverned(db *relation.Database, g *govern.Governor, workers int) (*Result, error) {
+	if db.Len() != len(p.Inputs) {
+		return nil, fmt.Errorf("program: database has %d relations, program has %d inputs",
+			db.Len(), len(p.Inputs))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	nodes, outRef := p.buildDAG()
+	vals := make([]*relation.Relation, len(p.Stmts))
+	resolve := func(ref valueRef) *relation.Relation {
+		if ref < 0 {
+			return db.Relation(-int(ref) - 1)
+		}
+		return vals[ref]
+	}
+
+	// Dependency bookkeeping: indegree counts distinct statement (not input)
+	// dependencies; dependents is the reverse adjacency.
+	indegree := make([]atomic.Int32, len(p.Stmts))
+	dependents := make([][]int, len(p.Stmts))
+	for i, n := range nodes {
+		deps := 0
+		if n.arg1 >= 0 {
+			dependents[n.arg1] = append(dependents[n.arg1], i)
+			deps++
+		}
+		if n.hasArg2 && n.arg2 >= 0 && n.arg2 != n.arg1 {
+			dependents[n.arg2] = append(dependents[n.arg2], i)
+			deps++
+		}
+		indegree[i].Store(int32(deps))
+	}
+
+	steps := make([]Step, len(p.Stmts))
+	ready := make(chan int, len(p.Stmts))
+	quit := make(chan struct{})
+	var (
+		errOnce   sync.Once
+		firstErr  error
+		remaining atomic.Int32
+	)
+	remaining.Store(int32(len(p.Stmts)))
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(quit)
+		})
+	}
+	for i := range nodes {
+		if indegree[i].Load() == 0 {
+			ready <- i
+		}
+	}
+	if len(p.Stmts) == 0 {
+		close(ready)
+	}
+
+	runStmt := func(i int) error {
+		s := p.Stmts[i]
+		if _, err := g.Begin("program.Stmt"); err != nil {
+			return fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
+		}
+		start := time.Now()
+		var out *relation.Relation
+		var err error
+		switch s.Op {
+		case OpProject:
+			out, err = relation.ParallelProjectGoverned(g, resolve(nodes[i].arg1), s.Proj, workers)
+		case OpJoin:
+			out, err = relation.ParallelJoinGoverned(g, resolve(nodes[i].arg1), resolve(nodes[i].arg2), workers)
+		case OpSemijoin:
+			out, err = relation.ParallelSemijoinGoverned(g, resolve(nodes[i].arg1), resolve(nodes[i].arg2), workers)
+		}
+		if err != nil {
+			return fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
+		}
+		vals[i] = out
+		steps[i] = Step{Stmt: s, Schema: out.Schema(), Size: out.Len(), Wall: time.Since(start)}
+		// Release dependents; close ready once the last statement finishes,
+		// so idle workers drain out.
+		for _, j := range dependents[i] {
+			if indegree[j].Add(-1) == 0 {
+				ready <- j
+			}
+		}
+		if remaining.Add(-1) == 0 {
+			close(ready)
+		}
+		return nil
+	}
+
+	pool := workers
+	if pool > len(p.Stmts) {
+		pool = len(p.Stmts)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-quit:
+					return
+				case i, ok := <-ready:
+					if !ok {
+						return
+					}
+					if err := runStmt(i); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	cost := 0
+	for i := 0; i < db.Len(); i++ {
+		cost += db.Relation(i).Len()
+	}
+	res := &Result{Trace: make([]Step, 0, len(p.Stmts))}
+	for i := range steps {
+		cost += steps[i].Size
+		res.Trace = append(res.Trace, steps[i])
+	}
+	res.Output = resolve(outRef)
+	res.Cost = cost
+	return res, nil
+}
+
+// CriticalPathLen returns the number of statements on the longest chain of
+// true data dependencies — the lower bound on parallel execution's depth.
+// Width (statements ÷ critical path) is the parallelism the DAG scheduler
+// can exploit.
+func (p *Program) CriticalPathLen() int {
+	if err := p.Validate(); err != nil {
+		return len(p.Stmts)
+	}
+	nodes, _ := p.buildDAG()
+	depth := make([]int, len(p.Stmts))
+	longest := 0
+	for i, n := range nodes {
+		d := 0
+		if n.arg1 >= 0 && depth[n.arg1] > d {
+			d = depth[n.arg1]
+		}
+		if n.hasArg2 && n.arg2 >= 0 && depth[n.arg2] > d {
+			d = depth[n.arg2]
+		}
+		depth[i] = d + 1
+		if depth[i] > longest {
+			longest = depth[i]
+		}
+	}
+	return longest
+}

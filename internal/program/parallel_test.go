@@ -1,0 +1,282 @@
+package program_test
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/govern"
+	"repro/internal/jointree"
+	"repro/internal/program"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Differential layer for the DAG executor: ApplyParallel must be
+// extensionally identical to Apply — same output, same §2.3 cost, same
+// per-statement trace sizes, same governed totals and budget aborts — on
+// derived Algorithm-2 programs over random cyclic and acyclic schemes, at
+// every worker count. The external test package lets these tests drive the
+// executor through core.Derive, the way the engine does.
+
+func parallelWorkerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		sweep = append(sweep, p)
+	}
+	return sweep
+}
+
+// leftDeepTree is the no-optimization spine over n relations.
+func leftDeepTree(n int) *jointree.Tree {
+	t := jointree.NewLeaf(0)
+	for i := 1; i < n; i++ {
+		t = jointree.NewJoin(t, jointree.NewLeaf(i))
+	}
+	return t
+}
+
+// randomDerived draws a connected random scheme, a small random database
+// over it, and the Algorithm 1+2 program derived from the left-deep tree.
+func randomDerived(t *testing.T, rng *rand.Rand) (*relation.Database, *program.Program) {
+	t.Helper()
+	h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+		Relations: 2 + rng.Intn(4),
+		Attrs:     4 + rng.Intn(3),
+		MaxArity:  3,
+		Connected: true,
+	})
+	if err != nil {
+		t.Fatalf("random scheme: %v", err)
+	}
+	db, err := workload.RandomDatabase(rng, h, 4+rng.Intn(12), 2)
+	if err != nil {
+		t.Fatalf("random database: %v", err)
+	}
+	d, err := core.DeriveFromTree(leftDeepTree(h.Len()), h, nil)
+	if err != nil {
+		t.Fatalf("derive: %v", err)
+	}
+	return db, d.Program
+}
+
+func TestApplyParallelMatchesApplyOnRandomDerivedPrograms(t *testing.T) {
+	defer relation.SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1992))
+	for trial := 0; trial < 60; trial++ {
+		db, p := randomDerived(t, rng)
+		want, err := p.Apply(db)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		// Theorem 1: the program computes ⋈D — anchor both executors to the
+		// naive pairwise join, not just to each other.
+		if naive := db.Join(); !want.Output.Equal(naive) {
+			t.Fatalf("trial %d: sequential program output differs from ⋈D (%d vs %d tuples)",
+				trial, want.Output.Len(), naive.Len())
+		}
+		for _, w := range parallelWorkerSweep() {
+			got, err := p.ApplyParallel(db, w)
+			if err != nil {
+				t.Fatalf("trial %d %d workers: %v", trial, w, err)
+			}
+			if !got.Output.Equal(want.Output) {
+				t.Fatalf("trial %d %d workers: outputs differ (%d vs %d tuples)",
+					trial, w, got.Output.Len(), want.Output.Len())
+			}
+			if got.Cost != want.Cost {
+				t.Fatalf("trial %d %d workers: cost %d, sequential %d", trial, w, got.Cost, want.Cost)
+			}
+			if len(got.Trace) != len(want.Trace) {
+				t.Fatalf("trial %d %d workers: trace length %d, sequential %d",
+					trial, w, len(got.Trace), len(want.Trace))
+			}
+			for i := range got.Trace {
+				if got.Trace[i].Size != want.Trace[i].Size {
+					t.Fatalf("trial %d %d workers: statement %d head size %d, sequential %d",
+						trial, w, i+1, got.Trace[i].Size, want.Trace[i].Size)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyParallelGovernedChargesSequentialTotals(t *testing.T) {
+	defer relation.SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1993))
+	for trial := 0; trial < 40; trial++ {
+		db, p := randomDerived(t, rng)
+		seqG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		if _, err := p.ApplyGoverned(db, seqG); err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		for _, w := range parallelWorkerSweep() {
+			parG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+			if _, err := p.ApplyParallelGoverned(db, parG, w); err != nil {
+				t.Fatalf("trial %d %d workers: %v", trial, w, err)
+			}
+			if parG.Produced() != seqG.Produced() {
+				t.Fatalf("trial %d %d workers: parallel charged %d, sequential %d",
+					trial, w, parG.Produced(), seqG.Produced())
+			}
+		}
+	}
+}
+
+// TestApplyParallelGovernedBudgetAborts pins the abort boundary
+// deterministically: a budget of exactly the charged total succeeds; one
+// tuple less aborts with govern.ErrTupleBudget and no partial Result.
+func TestApplyParallelGovernedBudgetAborts(t *testing.T) {
+	defer relation.SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1994))
+	tried := 0
+	for trial := 0; tried < 25; trial++ {
+		if trial > 500 {
+			t.Fatal("could not generate enough programs with nonzero charged totals")
+		}
+		db, p := randomDerived(t, rng)
+		probe := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		if _, err := p.ApplyGoverned(db, probe); err != nil {
+			t.Fatalf("trial %d probe: %v", trial, err)
+		}
+		total := probe.Produced()
+		if total == 0 {
+			continue
+		}
+		tried++
+		for _, w := range parallelWorkerSweep() {
+			okG := govern.New(govern.Limits{MaxTuples: total, CheckEvery: 1})
+			if _, err := p.ApplyParallelGoverned(db, okG, w); err != nil {
+				t.Fatalf("trial %d %d workers: budget == total must succeed, got %v", trial, w, err)
+			}
+			abortG := govern.New(govern.Limits{MaxTuples: total - 1, CheckEvery: 1})
+			res, err := p.ApplyParallelGoverned(db, abortG, w)
+			if !errors.Is(err, govern.ErrTupleBudget) {
+				t.Fatalf("trial %d %d workers: budget == total-1 must abort with ErrTupleBudget, got %v", trial, w, err)
+			}
+			if res != nil {
+				t.Fatalf("trial %d %d workers: abort leaked a partial Result", trial, w)
+			}
+		}
+	}
+}
+
+// TestApplyParallelRenamesDestructiveAssignment exercises the SSA renaming
+// directly: a program that reassigns a variable after another statement read
+// it (write-after-read) and reassigns it again (write-after-write) must
+// still match sequential execution at every worker count.
+func TestApplyParallelRenamesDestructiveAssignment(t *testing.T) {
+	defer relation.SetParallelThreshold(0)()
+	x := relation.New(relation.SchemaOfRunes("AB"))
+	y := relation.New(relation.SchemaOfRunes("BC"))
+	for a := int64(0); a < 4; a++ {
+		for b := int64(0); b < 3; b++ {
+			x.MustInsert(relation.Ints(a, b))
+			y.MustInsert(relation.Ints(b, (a+b)%3))
+		}
+	}
+	db, err := relation.NewDatabase(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &program.Program{
+		Inputs: []string{"X", "Y"},
+		Stmts: []program.Stmt{
+			{Op: program.OpJoin, Head: "T", Arg1: "X", Arg2: "Y"},                           // T₁ = X ⋈ Y
+			{Op: program.OpProject, Head: "U", Arg1: "T", Proj: relation.AttrSet{"A", "B"}}, // reads T₁
+			{Op: program.OpProject, Head: "T", Arg1: "T", Proj: relation.AttrSet{"B", "C"}}, // T₂ reads T₁ (WAR vs stmt 2, WAW vs stmt 1)
+			{Op: program.OpJoin, Head: "W", Arg1: "U", Arg2: "T"},                           // must see T₂, not T₁
+			{Op: program.OpSemijoin, Head: "W", Arg1: "W", Arg2: "X"},                       // head-aliasing semijoin rebind
+		},
+		Output: "W",
+	}
+	want, err := p.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 3, 4, 8} {
+		got, err := p.ApplyParallel(db, w)
+		if err != nil {
+			t.Fatalf("%d workers: %v", w, err)
+		}
+		if !got.Output.Equal(want.Output) || got.Cost != want.Cost {
+			t.Fatalf("%d workers: renamed execution diverged (output %d vs %d tuples, cost %d vs %d)",
+				w, got.Output.Len(), want.Output.Len(), got.Cost, want.Cost)
+		}
+	}
+}
+
+// TestApplyParallelEmptyProgram covers the zero-statement path: the output
+// is an input and no worker pool is spun up.
+func TestApplyParallelEmptyProgram(t *testing.T) {
+	r := relation.New(relation.SchemaOfRunes("AB"))
+	r.MustInsert(relation.Ints(1, 2))
+	db, err := relation.NewDatabase(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &program.Program{Inputs: []string{"R"}, Output: "R"}
+	res, err := p.ApplyParallel(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(r) || res.Cost != r.Len() {
+		t.Fatalf("empty program: output %d tuples cost %d, want the input back", res.Output.Len(), res.Cost)
+	}
+}
+
+// TestApplyParallelConcurrentCallers runs many parallel executions of one
+// shared Program value concurrently — the scheduler must not share mutable
+// state across calls (the race detector is the assertion here).
+func TestApplyParallelConcurrentCallers(t *testing.T) {
+	defer relation.SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1995))
+	db, p := randomDerived(t, rng)
+	want, err := p.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.ApplyParallel(db, 4)
+			if err == nil && !res.Output.Equal(want.Output) {
+				err = errors.New("output differs from sequential execution")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+}
+
+// TestCriticalPathLen pins the DAG shape metric on a program with known
+// structure: two independent chains merged by one join.
+func TestCriticalPathLen(t *testing.T) {
+	p := &program.Program{
+		Inputs: []string{"X", "Y"},
+		Stmts: []program.Stmt{
+			{Op: program.OpProject, Head: "A1", Arg1: "X", Proj: relation.AttrSet{"A"}},
+			{Op: program.OpProject, Head: "B1", Arg1: "Y", Proj: relation.AttrSet{"B"}},
+			{Op: program.OpJoin, Head: "J", Arg1: "A1", Arg2: "B1"},
+		},
+		Output: "J",
+	}
+	if got := p.CriticalPathLen(); got != 2 {
+		t.Fatalf("critical path: got %d, want 2 (two independent projections feed one join)", got)
+	}
+	empty := &program.Program{Inputs: []string{"X"}, Output: "X"}
+	if got := empty.CriticalPathLen(); got != 0 {
+		t.Fatalf("empty program critical path: got %d, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ package program
 import (
 	"fmt"
 	"strings"
+	"time"
 	"unicode"
 
 	"repro/internal/govern"
@@ -179,6 +180,10 @@ type Step struct {
 	// Size is the head's cardinality after the assignment — the statement's
 	// contribution to the paper's cost.
 	Size int
+	// Wall is the statement's execution wall-clock time. Under the parallel
+	// executor concurrent statements overlap, so the steps' Walls sum to more
+	// than the program's elapsed time.
+	Wall time.Duration
 }
 
 // Result is the outcome of applying a program to a database.
@@ -224,6 +229,7 @@ func (p *Program) ApplyGoverned(db *relation.Database, g *govern.Governor) (*Res
 		if _, err := g.Begin("program.Stmt"); err != nil {
 			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		start := time.Now()
 		var out *relation.Relation
 		var err error
 		switch s.Op {
@@ -239,7 +245,7 @@ func (p *Program) ApplyGoverned(db *relation.Database, g *govern.Governor) (*Res
 		}
 		env[s.Head] = out
 		cost += out.Len()
-		res.Trace = append(res.Trace, Step{Stmt: s, Schema: out.Schema(), Size: out.Len()})
+		res.Trace = append(res.Trace, Step{Stmt: s, Schema: out.Schema(), Size: out.Len(), Wall: time.Since(start)})
 	}
 	res.Output = env[p.Output]
 	res.Cost = cost

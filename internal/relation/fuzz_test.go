@@ -6,6 +6,45 @@ import (
 	"testing"
 )
 
+// FuzzParallelJoinKeys drives the partition-parallel join with adversarial
+// join-key content: arbitrary byte blobs are decoded into two relations over
+// AB and BC whose B columns carry raw fuzzer-chosen strings (embedded
+// separators, empty keys, invalid UTF-8, near-collisions), and the
+// partitioned join at a fuzzer-chosen worker count must equal the sequential
+// join exactly. This is the property that keeps partitionByKey honest: any
+// hash or key-encoding confusion splits matching tuples across partitions
+// and shows up as a lost or duplicated output row.
+func FuzzParallelJoinKeys(f *testing.F) {
+	f.Add([]byte("a\x00b\x001"), []byte("b\x00c\x002"), uint8(2))
+	f.Add([]byte("\x00\x00\x00"), []byte("\x00\x00\x00"), uint8(3))
+	f.Add([]byte("k\xffk\xff\xffk"), []byte("\xffk\xffkk\xff"), uint8(4))
+	f.Add([]byte(""), []byte("x\x00y\x00z"), uint8(1))
+	f.Add([]byte("1\x002\x003\x004\x005\x006"), []byte("2\x004\x006\x008"), uint8(16))
+	f.Fuzz(func(t *testing.T, lBlob, rBlob []byte, workers uint8) {
+		defer SetParallelThreshold(0)()
+		w := int(workers%16) + 1
+		l := blobRelation("AB", lBlob)
+		r := blobRelation("BC", rBlob)
+		want := Join(l, r)
+		got := ParallelJoin(l, r, w)
+		if !got.Equal(want) {
+			t.Fatalf("parallel join (%d workers) %d tuples, sequential %d\nl=%v\nr=%v",
+				w, got.Len(), want.Len(), lBlob, rBlob)
+		}
+	})
+}
+
+// blobRelation decodes a fuzzer blob into a two-column relation: NUL-split
+// fields fill rows pairwise, so the fuzzer controls the exact key bytes.
+func blobRelation(scheme string, blob []byte) *Relation {
+	r := New(SchemaOfRunes(scheme))
+	fields := strings.Split(string(blob), "\x00")
+	for i := 0; i+1 < len(fields); i += 2 {
+		r.MustInsert(Tuple{String(fields[i]), String(fields[i+1])})
+	}
+	return r
+}
+
 // FuzzReadTSV drives the TSV reader with arbitrary input: it must never
 // panic, and any accepted relation must round-trip through WriteTSV.
 func FuzzReadTSV(f *testing.F) {

@@ -58,39 +58,56 @@ func JoinGoverned(g *govern.Governor, l, r *Relation) (*Relation, error) {
 	lPos, _ := l.schema.Positions(common)
 	rPos, _ := r.schema.Positions(common)
 
-	// Hash the smaller side. If r is smaller we still emit columns in
-	// (l, r-only) order, so the build/probe roles swap but the output does
-	// not.
-	if l.Len() <= r.Len() {
-		ht := make(map[string][]Tuple, l.Len())
-		for _, lt := range l.rows {
+	if err := hashJoinInto(out, l.rows, r.rows, lPos, rPos, rOnlyPos,
+		func(int) error { return scope.Visit(out.Len()) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hashJoinInto is the hash-join core shared by the sequential and parallel
+// operators: it joins lRows with rRows on the key columns lPos/rPos,
+// appending (l, r-only) rows to out, and calls visit once per probe row with
+// the number of rows that probe emitted (so the sequential caller can drive
+// a cumulative governor scope and a parallel partition worker can charge
+// deltas into a shared one). The smaller side is hashed; if that is the
+// right side the build/probe roles swap but the output column order does
+// not.
+func hashJoinInto(out *Relation, lRows, rRows []Tuple, lPos, rPos, rOnlyPos []int, visit func(emitted int) error) error {
+	if len(lRows) <= len(rRows) {
+		ht := make(map[string][]Tuple, len(lRows))
+		for _, lt := range lRows {
 			k := lt.keyAt(lPos)
 			ht[k] = append(ht[k], lt)
 		}
-		for _, rt := range r.rows {
+		for _, rt := range rRows {
+			emitted := 0
 			for _, lt := range ht[rt.keyAt(rPos)] {
 				out.appendJoined(lt, rt, rOnlyPos)
+				emitted++
 			}
-			if err := scope.Visit(out.Len()); err != nil {
-				return nil, err
+			if err := visit(emitted); err != nil {
+				return err
 			}
 		}
 	} else {
-		ht := make(map[string][]Tuple, r.Len())
-		for _, rt := range r.rows {
+		ht := make(map[string][]Tuple, len(rRows))
+		for _, rt := range rRows {
 			k := rt.keyAt(rPos)
 			ht[k] = append(ht[k], rt)
 		}
-		for _, lt := range l.rows {
+		for _, lt := range lRows {
+			emitted := 0
 			for _, rt := range ht[lt.keyAt(lPos)] {
 				out.appendJoined(lt, rt, rOnlyPos)
+				emitted++
 			}
-			if err := scope.Visit(out.Len()); err != nil {
-				return nil, err
+			if err := visit(emitted); err != nil {
+				return err
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // appendJoined concatenates lt with rt's rOnlyPos columns and inserts the

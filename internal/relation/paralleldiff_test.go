@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/govern"
+)
+
+// Differential tests: the partition-parallel operators must be extensionally
+// indistinguishable from their sequential counterparts — same result, same
+// governed tuple totals, same budget aborts — at every worker count. The
+// parallel threshold is forced to 0 so even tiny random inputs take the
+// partitioned path.
+
+// workerSweep is the worker counts every differential property is checked
+// at: sequential fallback, even/odd partition counts, and the host width.
+func workerSweep() []int {
+	sweep := []int{1, 2, 3, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		sweep = append(sweep, p)
+	}
+	return sweep
+}
+
+// schemePairs is the schema overlap spectrum the join/semijoin properties
+// sample: partial overlap, containment, identity, single shared attribute,
+// and disjoint (the Cartesian-product path).
+var schemePairs = [][2]string{
+	{"ABC", "BCD"},
+	{"AB", "ABC"},
+	{"ABC", "ABC"},
+	{"AB", "BC"},
+	{"A", "AB"},
+	{"AB", "CD"},
+}
+
+func TestParallelJoinMatchesJoinRandom(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1992))
+	for trial := 0; trial < 200; trial++ {
+		pair := schemePairs[rng.Intn(len(schemePairs))]
+		l := randRel(rng, pair[0], rng.Intn(40), 3)
+		r := randRel(rng, pair[1], rng.Intn(40), 3)
+		want := Join(l, r)
+		for _, w := range workerSweep() {
+			got := ParallelJoin(l, r, w)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d (%s ⋈ %s, %d workers): parallel join %d tuples, sequential %d",
+					trial, pair[0], pair[1], w, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+func TestParallelSemijoinMatchesSemijoinRandom(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1993))
+	for trial := 0; trial < 200; trial++ {
+		pair := schemePairs[rng.Intn(len(schemePairs))]
+		l := randRel(rng, pair[0], rng.Intn(40), 3)
+		r := randRel(rng, pair[1], rng.Intn(40), 3)
+		want := Semijoin(l, r)
+		for _, w := range workerSweep() {
+			got, err := ParallelSemijoinGoverned(nil, l, r, w)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d (%s ⋉ %s, %d workers): parallel semijoin %d tuples, sequential %d",
+					trial, pair[0], pair[1], w, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+func TestParallelProjectMatchesProjectRandom(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1994))
+	schemes := []string{"ABCD", "AB", "A"}
+	for trial := 0; trial < 200; trial++ {
+		scheme := schemes[rng.Intn(len(schemes))]
+		r := randRel(rng, scheme, rng.Intn(60), 2) // tiny domain: many duplicates
+		// Random nonempty attribute subset.
+		var attrs AttrSet
+		for _, a := range r.Schema().Attrs() {
+			if rng.Intn(2) == 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		if len(attrs) == 0 {
+			attrs = AttrSet{r.Schema().Attrs()[0]}
+		}
+		want, err := Project(r, attrs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range workerSweep() {
+			got, err := ParallelProjectGoverned(nil, r, attrs, w)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d (π_%v %s, %d workers): parallel project %d tuples, sequential %d",
+					trial, attrs, scheme, w, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+// TestParallelGovernedChargesSequentialTotals is the charging-equivalence
+// property: on success a governed parallel operator charges exactly the
+// tuple total its sequential counterpart does, so budgets, fair-share
+// carving, and the §2.3 cost accounting cannot tell the two apart.
+func TestParallelGovernedChargesSequentialTotals(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1995))
+	for trial := 0; trial < 100; trial++ {
+		pair := schemePairs[rng.Intn(len(schemePairs))]
+		l := randRel(rng, pair[0], 1+rng.Intn(30), 3)
+		r := randRel(rng, pair[1], 1+rng.Intn(30), 3)
+
+		seqG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		seqOut, err := JoinGoverned(seqG, l, r)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		for _, w := range workerSweep() {
+			parG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+			parOut, err := ParallelJoinGoverned(parG, l, r, w)
+			if err != nil {
+				t.Fatalf("trial %d %d workers: %v", trial, w, err)
+			}
+			if !parOut.Equal(seqOut) {
+				t.Fatalf("trial %d %d workers: results differ", trial, w)
+			}
+			if parG.Produced() != seqG.Produced() {
+				t.Fatalf("trial %d %d workers: parallel charged %d tuples, sequential %d",
+					trial, w, parG.Produced(), seqG.Produced())
+			}
+		}
+	}
+}
+
+// TestParallelGovernedBudgetAbortsCoincide checks the abort boundary: a
+// budget of exactly the output size succeeds in both executions, and one
+// tuple less aborts both with govern.ErrTupleBudget and no partial result.
+func TestParallelGovernedBudgetAbortsCoincide(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	rng := rand.New(rand.NewSource(1996))
+	tried := 0
+	for trial := 0; tried < 50; trial++ {
+		if trial > 2000 {
+			t.Fatal("could not generate enough joins with nonempty output")
+		}
+		l := randRel(rng, "ABC", 5+rng.Intn(25), 3)
+		r := randRel(rng, "BCD", 5+rng.Intn(25), 3)
+		total := int64(Join(l, r).Len())
+		if total == 0 {
+			continue
+		}
+		tried++
+		for _, w := range workerSweep() {
+			// CheckEvery 1 keeps cancellation polling out of the way and makes
+			// the budget check per-charge in both executions.
+			okG := govern.New(govern.Limits{MaxTuples: total, CheckEvery: 1})
+			if out, err := ParallelJoinGoverned(okG, l, r, w); err != nil || out.Len() != int(total) {
+				t.Fatalf("trial %d %d workers: budget == output must succeed, got %v (out %v)", trial, w, err, out)
+			}
+			abortG := govern.New(govern.Limits{MaxTuples: total - 1, CheckEvery: 1})
+			out, err := ParallelJoinGoverned(abortG, l, r, w)
+			if !errors.Is(err, govern.ErrTupleBudget) {
+				t.Fatalf("trial %d %d workers: budget == output-1 must abort with ErrTupleBudget, got %v", trial, w, err)
+			}
+			if out != nil {
+				t.Fatalf("trial %d %d workers: abort leaked a partial result (%d tuples)", trial, w, out.Len())
+			}
+		}
+	}
+}
+
+// TestParallelJoinEdgeCases pins the degenerate inputs the fuzzer and random
+// trials may rarely hit.
+func TestParallelJoinEdgeCases(t *testing.T) {
+	defer SetParallelThreshold(0)()
+	empty := New(SchemaOfRunes("AB"))
+	one := mkRel(t, "BC", []int64{1, 2})
+	for _, w := range workerSweep() {
+		if got := ParallelJoin(empty, one, w); got.Len() != 0 {
+			t.Fatalf("empty ⋈ r with %d workers: got %d tuples", w, got.Len())
+		}
+		if got := ParallelJoin(one, empty, w); got.Len() != 0 {
+			t.Fatalf("l ⋈ empty with %d workers: got %d tuples", w, got.Len())
+		}
+		if got := ParallelJoin(one, one, w); !got.Equal(one) {
+			t.Fatalf("r ⋈ r with %d workers: want r itself", w)
+		}
+	}
+	// More workers than rows: partitions are mostly empty.
+	small := mkRel(t, "AB", []int64{1, 2}, []int64{3, 4})
+	other := mkRel(t, "BC", []int64{2, 5}, []int64{4, 6})
+	if got := ParallelJoin(small, other, 16); !got.Equal(Join(small, other)) {
+		t.Fatal("16 workers on 2 rows: result differs from sequential join")
+	}
+}

@@ -1,15 +1,37 @@
 package relation
 
 import (
-	"hash/fnv"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/govern"
 )
 
-// parallelThreshold is the input size below which ParallelJoin falls back
-// to the sequential hash join; goroutine and partitioning overhead dominate
-// on small inputs.
-const parallelThreshold = 4096
+// parallelMinInput is the combined input size below which the Parallel*
+// operators fall back to their sequential counterparts; goroutine and
+// partitioning overhead dominate on small inputs. Tests that must exercise
+// the partitioned path on small inputs override it with
+// SetParallelThreshold.
+var parallelMinInput = 4096
+
+// SetParallelThreshold overrides the combined-input-size cutoff below which
+// the Parallel* operators run sequentially, and returns a function restoring
+// the previous value. n <= 0 forces partitioned execution on every input. It
+// mutates package state and is not synchronized against in-flight parallel
+// operators — call it from test setup, not concurrently with executions.
+func SetParallelThreshold(n int) (restore func()) {
+	prev := parallelMinInput
+	parallelMinInput = n
+	return func() { parallelMinInput = prev }
+}
+
+// errParallelStopped is the internal sentinel a partition worker returns
+// when it bails out because a sibling already failed; it never escapes the
+// parallel operators.
+var errParallelStopped = errors.New("relation: parallel worker stopped")
 
 // ParallelJoin computes the natural join l ⋈ r using up to workers
 // goroutines (0 means GOMAXPROCS). Both inputs are hash-partitioned on
@@ -20,57 +42,170 @@ const parallelThreshold = 4096
 // The result equals Join(l, r) exactly. With no common attributes the left
 // input is split into chunks instead (a parallel Cartesian product).
 func ParallelJoin(l, r *Relation, workers int) *Relation {
+	out, err := ParallelJoinGoverned(nil, l, r, workers)
+	if err != nil {
+		panic(err) // unreachable: a nil governor never aborts
+	}
+	return out
+}
+
+// ParallelJoinGoverned is ParallelJoin under a governor: the partition
+// workers charge every output tuple into one shared operator scope, so
+// MaxTuples and MaxIntermediateTuples bound the whole join's output exactly
+// as in JoinGoverned — a successful parallel join charges the same total,
+// and a budget that aborts the sequential join aborts the parallel one. On
+// abort the first worker's typed error is returned and no partial result
+// escapes. Inputs below the parallel threshold (and workers <= 1) run
+// JoinGoverned directly.
+func ParallelJoinGoverned(g *govern.Governor, l, r *Relation, workers int) (*Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || l.Len()+r.Len() < parallelThreshold {
-		return Join(l, r)
+	if workers == 1 || l.Len()+r.Len() < parallelMinInput {
+		return JoinGoverned(g, l, r)
+	}
+	scope, err := g.Begin("relation.ParallelJoin")
+	if err != nil {
+		return nil, err
 	}
 	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
 	if common.IsEmpty() {
-		return parallelProduct(l, r, workers)
+		return parallelProductGoverned(scope, l, r, workers)
 	}
 
 	lPos, _ := l.schema.Positions(common)
 	rPos, _ := r.schema.Positions(common)
 
+	// Columns of r absent from l, in r's column order — the same order
+	// joinSchema appends them to the output schema.
+	var rOnlyPos []int
+	for i, a := range r.schema.Attrs() {
+		if !l.schema.Has(a) {
+			rOnlyPos = append(rOnlyPos, i)
+		}
+	}
+
+	lParts := partitionByKey(l.rows, lPos, workers)
+	rParts := partitionByKey(r.rows, rPos, workers)
+	outSchema := joinSchema(l.schema, r.schema)
+
+	results := make([]*Relation, workers)
+	err = parallelRun(workers, func(w int, stop *atomic.Bool) error {
+		out := New(outSchema)
+		results[w] = out
+		return hashJoinInto(out, lParts[w], rParts[w], lPos, rPos, rOnlyPos,
+			chargeInto(scope, stop))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatDisjoint(outSchema, results), nil
+}
+
+// ParallelSemijoinGoverned computes l ⋉ r under a governor using up to
+// workers goroutines: both sides are hash-partitioned on the common
+// attributes and each worker semijoins its partition pair, charging emitted
+// heads into one shared operator scope. The result, the charged total, and
+// the budget-abort behavior match SemijoinGoverned. With no common
+// attributes (where ⋉ degenerates to "l if r nonempty") and below the
+// parallel threshold it runs SemijoinGoverned directly.
+func ParallelSemijoinGoverned(g *govern.Governor, l, r *Relation, workers int) (*Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	if workers == 1 || common.IsEmpty() || l.Len()+r.Len() < parallelMinInput {
+		return SemijoinGoverned(g, l, r)
+	}
+	scope, err := g.Begin("relation.ParallelSemijoin")
+	if err != nil {
+		return nil, err
+	}
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
 	lParts := partitionByKey(l.rows, lPos, workers)
 	rParts := partitionByKey(r.rows, rPos, workers)
 
 	results := make([]*Relation, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lp, _ := NewFromRows(l.schema, lParts[w])
-			rp, _ := NewFromRows(r.schema, rParts[w])
-			results[w] = Join(lp, rp)
-		}(w)
-	}
-	wg.Wait()
-	return concatDisjoint(joinSchema(l.schema, r.schema), results)
-}
-
-// partitionByKey splits rows into n buckets by the FNV hash of their key
-// columns.
-func partitionByKey(rows []Tuple, pos []int, n int) [][]Tuple {
-	parts := make([][]Tuple, n)
-	var buf []byte
-	for _, t := range rows {
-		buf = buf[:0]
-		for _, p := range pos {
-			buf = t[p].appendKey(buf)
+	err = parallelRun(workers, func(w int, stop *atomic.Bool) error {
+		out := New(l.schema)
+		results[w] = out
+		keys := make(map[string]struct{}, len(rParts[w]))
+		for _, rt := range rParts[w] {
+			keys[rt.keyAt(rPos)] = struct{}{}
 		}
-		h := fnv.New32a()
-		h.Write(buf)
-		parts[h.Sum32()%uint32(n)] = append(parts[h.Sum32()%uint32(n)], t)
+		charge := chargeInto(scope, stop)
+		for _, lt := range lParts[w] {
+			emitted := 0
+			if _, ok := keys[lt.keyAt(lPos)]; ok {
+				out.MustInsert(lt)
+				emitted = 1
+			}
+			if err := charge(emitted); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return parts
+	return concatDisjoint(l.schema, results), nil
 }
 
-// parallelProduct splits l into chunks and cross-joins each with r.
-func parallelProduct(l, r *Relation, workers int) *Relation {
+// ParallelProjectGoverned computes π_attrs(r) under a governor using up to
+// workers goroutines. Rows are hash-partitioned on their projected columns,
+// so all duplicates of a projected tuple land in one partition: each worker
+// deduplicates its partition completely, the partition outputs are disjoint,
+// and the charged total equals the deduplicated output size — identical to
+// ProjectGoverned. Empty projections and inputs below the parallel threshold
+// run ProjectGoverned directly.
+func ParallelProjectGoverned(g *govern.Governor, r *Relation, attrs AttrSet, workers int) (*Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !r.schema.AttrSet().ContainsAll(attrs) {
+		return nil, fmt.Errorf("relation: projection attributes %s not all in schema %s",
+			attrs, r.schema)
+	}
+	pos, _ := r.schema.Positions(attrs)
+	if workers == 1 || len(pos) == 0 || r.Len() < parallelMinInput {
+		return ProjectGoverned(g, r, attrs)
+	}
+	scope, err := g.Begin("relation.ParallelProject")
+	if err != nil {
+		return nil, err
+	}
+	outSchema := MustSchema(attrs...)
+	parts := partitionByKey(r.rows, pos, workers)
+
+	results := make([]*Relation, workers)
+	err = parallelRun(workers, func(w int, stop *atomic.Bool) error {
+		out := New(outSchema)
+		results[w] = out
+		charge := chargeInto(scope, stop)
+		for _, t := range parts[w] {
+			row := make(Tuple, len(pos))
+			for i, p := range pos {
+				row[i] = t[p]
+			}
+			before := out.Len()
+			out.MustInsert(row)
+			if err := charge(out.Len() - before); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatDisjoint(outSchema, results), nil
+}
+
+// parallelProductGoverned splits l into chunks and cross-joins each with r,
+// charging output tuples into the shared scope.
+func parallelProductGoverned(scope *govern.OpScope, l, r *Relation, workers int) (*Relation, error) {
 	chunk := (l.Len() + workers - 1) / workers
 	if chunk == 0 {
 		chunk = 1
@@ -83,18 +218,99 @@ func parallelProduct(l, r *Relation, workers int) *Relation {
 		}
 		tasks = append(tasks, l.rows[i:end])
 	}
+	outSchema := joinSchema(l.schema, r.schema)
+	// Columns of r absent from l (all of them: the schemas are disjoint
+	// here), in r's column order.
+	rOnlyPos := make([]int, r.schema.Len())
+	for i := range rOnlyPos {
+		rOnlyPos[i] = i
+	}
 	results := make([]*Relation, len(tasks))
-	var wg sync.WaitGroup
-	for w := range tasks {
+	err := parallelRun(len(tasks), func(w int, stop *atomic.Bool) error {
+		out := New(outSchema)
+		results[w] = out
+		charge := chargeInto(scope, stop)
+		for _, lt := range tasks[w] {
+			for _, rt := range r.rows {
+				out.appendJoined(lt, rt, rOnlyPos)
+				if err := charge(1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatDisjoint(outSchema, results), nil
+}
+
+// parallelRun executes fn(w, stop) for each w in [0, n) on n goroutines and
+// returns the first real error. A worker that fails sets the stop flag;
+// siblings poll it via their charge callbacks and bail with
+// errParallelStopped, which is swallowed here.
+func parallelRun(n int, fn func(w int, stop *atomic.Bool) error) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		stop  atomic.Bool
+	)
+	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lp, _ := NewFromRows(l.schema, tasks[w])
-			results[w] = Join(lp, r)
+			if err := fn(w, &stop); err != nil && !errors.Is(err, errParallelStopped) {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
 		}(w)
 	}
 	wg.Wait()
-	return concatDisjoint(joinSchema(l.schema, r.schema), results)
+	return first
+}
+
+// chargeInto returns a per-iteration charge callback for one partition
+// worker: it stops early when a sibling failed, and otherwise charges the
+// iteration's emitted tuples into the shared operator scope (polling
+// cancellation like the sequential operators do).
+func chargeInto(scope *govern.OpScope, stop *atomic.Bool) func(emitted int) error {
+	return func(emitted int) error {
+		if stop.Load() {
+			return errParallelStopped
+		}
+		return scope.Add(emitted)
+	}
+}
+
+// partitionByKey splits rows into n buckets by the FNV-32a hash of their key
+// columns. The hash is inlined (rather than hash/fnv) to avoid a hasher
+// allocation per row on the partitioning hot path.
+func partitionByKey(rows []Tuple, pos []int, n int) [][]Tuple {
+	const (
+		fnvOffset32 = 2166136261
+		fnvPrime32  = 16777619
+	)
+	parts := make([][]Tuple, n)
+	var buf []byte
+	for _, t := range rows {
+		buf = buf[:0]
+		for _, p := range pos {
+			buf = t[p].appendKey(buf)
+		}
+		h := uint32(fnvOffset32)
+		for _, b := range buf {
+			h ^= uint32(b)
+			h *= fnvPrime32
+		}
+		parts[h%uint32(n)] = append(parts[h%uint32(n)], t)
+	}
+	return parts
 }
 
 // concatDisjoint merges partition results whose tuple sets are pairwise

@@ -45,6 +45,10 @@ type queryRequest struct {
 	MaxIntermediateTuples int64  `json:"max_intermediate_tuples,omitempty"`
 	TimeoutMS             int64  `json:"timeout_ms,omitempty"`
 	Indexed               bool   `json:"indexed,omitempty"`
+	// Workers asks for intra-query parallelism (0 = service default,
+	// clamped to the configured per-query cap; the grant may degrade
+	// toward sequential when the worker budget is depleted).
+	Workers int `json:"workers,omitempty"`
 	// IncludeResult returns the result tuples (capped by MaxResultTuples).
 	IncludeResult bool `json:"include_result,omitempty"`
 	// MaxResultTuples caps the tuples echoed back when IncludeResult is set
@@ -54,13 +58,16 @@ type queryRequest struct {
 
 // queryResponse is the body of a successful POST /v1/query.
 type queryResponse struct {
-	Database    string   `json:"database"`
-	Strategy    string   `json:"strategy"`
-	Cost        int64    `json:"cost"`
-	Produced    int64    `json:"produced"`
-	ResultCount int      `json:"result_count"`
-	CacheHit    bool     `json:"cache_hit"`
-	QueueWaitMS float64  `json:"queue_wait_ms"`
+	Database    string  `json:"database"`
+	Strategy    string  `json:"strategy"`
+	Cost        int64   `json:"cost"`
+	Produced    int64   `json:"produced"`
+	ResultCount int     `json:"result_count"`
+	CacheHit    bool    `json:"cache_hit"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Parallelism is the worker count the query actually ran with (1 =
+	// sequential), after clamping and worker-budget degradation.
+	Parallelism int      `json:"parallelism"`
 	Plan        string   `json:"plan,omitempty"`
 	Notes       []string `json:"notes,omitempty"`
 	// Result is present when include_result was set: the result relation,
@@ -125,6 +132,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MaxIntermediateTuples: req.MaxIntermediateTuples,
 		Timeout:               time.Duration(req.TimeoutMS) * time.Millisecond,
 		Indexed:               req.Indexed,
+		Workers:               req.Workers,
 	})
 	if err != nil {
 		writeServiceError(w, err)
@@ -138,6 +146,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ResultCount: rep.Result.Len(),
 		CacheHit:    rep.PlanCacheHit,
 		QueueWaitMS: float64(rep.QueueWait) / float64(time.Millisecond),
+		Parallelism: rep.Parallelism,
 		Plan:        rep.Plan,
 		Notes:       rep.Notes,
 	}

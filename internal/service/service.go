@@ -77,6 +77,19 @@ type Config struct {
 	// SearchBudget bounds optimizer search on plan-cache misses
 	// (engine Options.Budget; 0 = the optimizer default).
 	SearchBudget int64
+	// QueryWorkers caps the intra-query parallelism of any single query
+	// (engine Options.Workers). The default 1 keeps queries sequential;
+	// raising it lets each query run its joins on up to QueryWorkers
+	// goroutines. Requests may ask for fewer.
+	QueryWorkers int
+	// WorkerBudget is the total number of intra-query worker goroutines
+	// available across concurrent queries. Parallel queries reserve their
+	// worker count from it at admission and return it on completion; when
+	// the pool runs low a query is granted fewer workers — down to
+	// sequential — rather than rejected. 0 defaults to
+	// Workers × QueryWorkers when QueryWorkers > 1 (no degradation under
+	// the configured concurrency), and is ignored while QueryWorkers <= 1.
+	WorkerBudget int64
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -95,6 +108,12 @@ func (cfg Config) withDefaults() Config {
 		if cfg.MaxTuplesPerQuery < 1 {
 			cfg.MaxTuplesPerQuery = 1
 		}
+	}
+	if cfg.QueryWorkers <= 0 {
+		cfg.QueryWorkers = 1
+	}
+	if cfg.WorkerBudget <= 0 && cfg.QueryWorkers > 1 {
+		cfg.WorkerBudget = int64(cfg.Workers) * int64(cfg.QueryWorkers)
 	}
 	return cfg
 }
@@ -132,6 +151,12 @@ type Request struct {
 	Timeout time.Duration
 	// Indexed runs derived programs through the index-sharing executor.
 	Indexed bool
+	// Workers asks for intra-query parallelism: the number of goroutines
+	// this query's joins may use. 0 takes the service default
+	// (Config.QueryWorkers); a nonzero ask is clamped to it. The grant may
+	// be lower still when the shared worker budget is depleted — the query
+	// then degrades toward sequential execution instead of being rejected.
+	Workers int
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -152,6 +177,14 @@ type Stats struct {
 	// Degraded counts cached-plan executions that blew their budget and
 	// fell back to the engine's governed degradation ladder.
 	Degraded int64 `json:"degraded"`
+	// QueryWorkers is the configured per-query parallelism cap.
+	QueryWorkers int `json:"query_workers"`
+	// WorkersDegraded counts queries granted fewer intra-query workers
+	// than they asked for because the worker budget was depleted.
+	WorkersDegraded int64 `json:"workers_degraded"`
+	// WorkerBudgetRemaining is the unreserved part of the intra-query
+	// worker pool (-1 when parallelism is off or the pool is unlimited).
+	WorkerBudgetRemaining int64 `json:"worker_budget_remaining"`
 	// GlobalTuplesRemaining is the unreserved part of the global budget
 	// (-1 when no global budget is configured).
 	GlobalTuplesRemaining int64           `json:"global_tuples_remaining"`
@@ -168,11 +201,13 @@ type Service struct {
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
 
-	queued          atomic.Int64
-	inFlight        atomic.Int64
-	budgetRemaining atomic.Int64 // meaningful only when cfg.GlobalMaxTuples > 0
+	queued           atomic.Int64
+	inFlight         atomic.Int64
+	budgetRemaining  atomic.Int64 // meaningful only when cfg.GlobalMaxTuples > 0
+	workersRemaining atomic.Int64 // meaningful only when cfg.WorkerBudget > 0
 
 	queries, succeeded, rejected, aborted, failed, degraded atomic.Int64
+	workersDegraded                                         atomic.Int64
 }
 
 // New builds a service from cfg (zero fields get defaults).
@@ -185,6 +220,7 @@ func New(cfg Config) *Service {
 		dbs:   make(map[string]*catalogEntry),
 	}
 	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
+	s.workersRemaining.Store(cfg.WorkerBudget)
 	return s
 }
 
@@ -314,6 +350,39 @@ func (s *Service) carve(asked int64) (int64, func(), error) {
 	}
 }
 
+// carveWorkers grants a query its intra-query worker count: the ask
+// (0 = service default) clamped to Config.QueryWorkers, then reserved from
+// the shared worker pool. A depleted pool degrades the grant — partial
+// parallelism, or sequential when fewer than two workers remain — rather
+// than rejecting the query; sequential execution reserves nothing. It
+// returns the grant, whether it was degraded below the clamped ask, and a
+// function returning the reservation.
+func (s *Service) carveWorkers(asked int) (int, bool, func()) {
+	want := asked
+	if want <= 0 || want > s.cfg.QueryWorkers {
+		want = s.cfg.QueryWorkers
+	}
+	if want <= 1 {
+		return 1, false, func() {}
+	}
+	if s.cfg.WorkerBudget <= 0 {
+		return want, false, func() {}
+	}
+	for {
+		rem := s.workersRemaining.Load()
+		take := int64(want)
+		if take > rem {
+			take = rem
+		}
+		if take < 2 {
+			return 1, true, func() {}
+		}
+		if s.workersRemaining.CompareAndSwap(rem, rem-take) {
+			return int(take), take < int64(want), func() { s.workersRemaining.Add(take) }
+		}
+	}
+}
+
 // Query joins the named database under the request's limits. The flow is:
 // admission (worker slot with queue timeout), budget carving, plan-cache
 // lookup keyed by scheme fingerprint + resolved strategy (a miss derives
@@ -342,6 +411,11 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 		return nil, err
 	}
 	defer releaseBudget()
+	workers, workersCut, releaseWorkers := s.carveWorkers(req.Workers)
+	defer releaseWorkers()
+	if workersCut {
+		s.workersDegraded.Add(1)
+	}
 	s.queries.Add(1)
 
 	timeout := req.Timeout
@@ -358,6 +432,7 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 		Budget:           s.cfg.SearchBudget,
 		IndexedExecution: req.Indexed,
 		Limits:           lim,
+		Workers:          workers,
 	}
 
 	// Resolve auto against the registered scheme so the cache key pins the
@@ -421,6 +496,10 @@ func (s *Service) Stats() Stats {
 	if s.cfg.GlobalMaxTuples > 0 {
 		remaining = s.budgetRemaining.Load()
 	}
+	workersRemaining := int64(-1)
+	if s.cfg.QueryWorkers > 1 && s.cfg.WorkerBudget > 0 {
+		workersRemaining = s.workersRemaining.Load()
+	}
 	return Stats{
 		Databases:             n,
 		Workers:               s.cfg.Workers,
@@ -432,6 +511,9 @@ func (s *Service) Stats() Stats {
 		Aborted:               s.aborted.Load(),
 		Failed:                s.failed.Load(),
 		Degraded:              s.degraded.Load(),
+		QueryWorkers:          s.cfg.QueryWorkers,
+		WorkersDegraded:       s.workersDegraded.Load(),
+		WorkerBudgetRemaining: workersRemaining,
 		GlobalTuplesRemaining: remaining,
 		PlanCache:             s.cache.Stats(),
 	}
