@@ -37,6 +37,7 @@ func main() {
 	maxTuples := flag.Int64("max-tuples", 0, "tuple budget for the EX6 governance experiment (0 = its default)")
 	jsonOut := flag.String("json", "", "write per-experiment results as JSON to this file (\"-\" for stdout)")
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "write the EX7 speedup table as JSON to this file when EX7 runs (\"\" = skip)")
+	wcojJSON := flag.String("wcoj-json", "BENCH_wcoj.json", "write the EX8 program-vs-triejoin table as JSON to this file when EX8 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -66,10 +67,12 @@ func main() {
 	measured := []int64{6, 10, 16, 20}
 	e3Scale := int64(10)
 	ex7Scale, ex7Trials := int64(20), 3
+	ex8Trials := 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
 		ex7Scale, ex7Trials = 12, 2
+		ex8Trials = 1
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -101,6 +104,15 @@ func main() {
 			table, bench, err := experiments.ParallelSpeedup(ex7Scale, ex7Trials)
 			if err == nil && *parallelJSON != "" {
 				if werr := writeParallelBench(*parallelJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
+		{"EX8", func() (*experiments.Table, error) {
+			table, bench, err := experiments.WCOJComparison(*seed, ex8Trials)
+			if err == nil && *wcojJSON != "" {
+				if werr := writeWCOJBench(*wcojJSON, bench); werr != nil {
 					return nil, werr
 				}
 			}
@@ -180,6 +192,24 @@ type experimentResult struct {
 // writeParallelBench stores the EX7 machine-readable speedup table
 // (-parallel-json; "-" = stdout).
 func writeParallelBench(path string, bench *experiments.ParallelBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
+}
+
+// writeWCOJBench stores the EX8 machine-readable comparison table
+// (-wcoj-json; "-" = stdout).
+func writeWCOJBench(path string, bench *experiments.WCOJBenchResult) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

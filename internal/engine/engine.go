@@ -15,6 +15,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/program"
 	"repro/internal/relation"
+	"repro/internal/wcoj"
 )
 
 // Strategy selects how Join computes ⋈D.
@@ -43,6 +44,13 @@ const (
 	// StrategyDirect joins the relations left to right with no
 	// optimization; the baseline of baselines.
 	StrategyDirect
+	// StrategyWCOJ runs the worst-case-optimal Leapfrog Triejoin
+	// (internal/wcoj): relations are trie-indexed along a global variable
+	// order and ⋈D is computed attribute-by-attribute as a multiway
+	// intersection, materializing no pairwise intermediate at all. On the
+	// cyclic schemes where Example 3 makes every CPF expression unboundedly
+	// suboptimal, this is the backend built for the job.
+	StrategyWCOJ
 )
 
 // String names the strategy.
@@ -60,6 +68,8 @@ func (s Strategy) String() string {
 		return "acyclic"
 	case StrategyDirect:
 		return "direct"
+	case StrategyWCOJ:
+		return "wcoj"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -233,6 +243,8 @@ func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy
 		rep, err = joinAcyclic(db, h, gov)
 	case StrategyDirect:
 		rep, err = joinDirect(db, h, opts, gov)
+	case StrategyWCOJ:
+		rep, err = joinWCOJ(db, h, opts, gov)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", strat)
 	}
@@ -271,16 +283,18 @@ func stepTimings(trace []program.Step) []StepTiming {
 // DegradationLadder returns the strategy ladder governed Auto execution
 // climbs for the given scheme, cheapest machinery first. On cyclic schemes
 // it is the classical CPF expression, then fixpoint semijoin reduction
-// followed by the cheapest CPF expression, then the paper's derived
-// program — whose semijoins bound the intermediates that blew the earlier
-// rungs (Theorem 2 caps its cost at r(a+5) times the optimum, so it is the
-// natural last resort). On acyclic schemes the full-reducer pipeline is
-// already monotone; only the program route remains behind it.
+// followed by the cheapest CPF expression, then the worst-case-optimal
+// Leapfrog Triejoin — which materializes no pairwise intermediate at all,
+// exactly what blew the earlier rungs — and finally the paper's derived
+// program, whose semijoin-bounded heads (Theorem 2 caps its cost at r(a+5)
+// times the optimum) make it the most conservative machinery of all. On
+// acyclic schemes the full-reducer pipeline is already monotone; only the
+// program route remains behind it.
 func DegradationLadder(h *hypergraph.Hypergraph) []Strategy {
 	if h.Acyclic() {
 		return []Strategy{StrategyAcyclic, StrategyProgram}
 	}
-	return []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyProgram}
+	return []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyWCOJ, StrategyProgram}
 }
 
 // degradable reports whether an attempt's failure should fall through to
@@ -453,6 +467,34 @@ func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Go
 		Plan:     "full reducer; monotone expression: " + tree.String(h),
 		Notes:    []string{"no intermediate exceeds the output on the reduced database"},
 	}, nil
+}
+
+// joinWCOJ runs the worst-case-optimal Leapfrog Triejoin along the
+// scheme's derived variable order.
+func joinWCOJ(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
+	order := wcoj.VariableOrder(h)
+	res, err := wcoj.JoinGoverned(db, order, gov, opts.workerCount())
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Result:   res.Output,
+		Strategy: StrategyWCOJ,
+		Cost:     int64(db.TotalTuples()) + int64(res.Output.Len()),
+		Plan:     "leapfrog triejoin, variable order: " + strings.Join(order, " "),
+		Notes:    wcojNotes(res),
+	}, nil
+}
+
+// wcojNotes renders the WCOJ accounting shared by Join and ExecutePlan.
+func wcojNotes(res *wcoj.Result) []string {
+	notes := []string{
+		fmt.Sprintf("tries re-sort the %d input tuples; no pairwise intermediate is materialized (§2.3 cost = inputs + output)", res.TrieTuples),
+	}
+	if res.Workers > 1 {
+		notes = append(notes, fmt.Sprintf("outermost variable's key range partitioned across %d workers", res.Workers))
+	}
+	return notes
 }
 
 // joinDirect folds the relations left to right.

@@ -26,7 +26,7 @@ func TestJoinAllStrategiesAgree(t *testing.T) {
 	db := example3DB(t, 6)
 	want := db.Join()
 	for _, s := range []Strategy{
-		StrategyAuto, StrategyProgram, StrategyExpression, StrategyReduceThenJoin, StrategyDirect,
+		StrategyAuto, StrategyProgram, StrategyExpression, StrategyReduceThenJoin, StrategyDirect, StrategyWCOJ,
 	} {
 		rep, err := Join(db, Options{Strategy: s})
 		if err != nil {
@@ -231,6 +231,7 @@ func TestStrategyString(t *testing.T) {
 		StrategyReduceThenJoin: "reduce-then-join",
 		StrategyAcyclic:        "acyclic",
 		StrategyDirect:         "direct",
+		StrategyWCOJ:           "wcoj",
 	}
 	for s, want := range names {
 		if s.String() != want {

@@ -15,7 +15,10 @@ import (
 
 // ladderBudget sits between the program route's produced tuples (~7.1k at
 // q=10) and the classical routes' (~25.5k for the CPF expression, 50k for
-// direct's first join), so every pre-program rung of the ladder blows it.
+// direct's first join), so both classical rungs of the ladder blow it.
+// The leapfrog-triejoin rung charges only the trie builds plus the output
+// (~600 tuples here — no pairwise intermediate exists to charge), so it is
+// the first rung that fits.
 const ladderBudget = 15000
 
 func TestDirectAbortsOnTupleBudget(t *testing.T) {
@@ -54,15 +57,15 @@ func TestExplicitStrategiesAbortHard(t *testing.T) {
 	}
 }
 
-func TestAutoLadderDegradesToProgram(t *testing.T) {
+func TestAutoLadderDegradesToWCOJ(t *testing.T) {
 	db := example3DB(t, 10)
 	want := db.Join()
 	rep, err := Join(db, Options{Limits: govern.Limits{MaxTuples: ladderBudget}})
 	if err != nil {
 		t.Fatalf("ladder failed: %v", err)
 	}
-	if rep.Strategy != StrategyProgram {
-		t.Errorf("ladder landed on %s, want %s", rep.Strategy, StrategyProgram)
+	if rep.Strategy != StrategyWCOJ {
+		t.Errorf("ladder landed on %s, want %s", rep.Strategy, StrategyWCOJ)
 	}
 	if !rep.Result.Equal(want) {
 		t.Errorf("wrong result: %d tuples, want %d", rep.Result.Len(), want.Len())
@@ -82,6 +85,42 @@ func TestAutoLadderDegradesToProgram(t *testing.T) {
 	}
 	if !strings.Contains(falls[0], StrategyExpression.String()) ||
 		!strings.Contains(falls[1], StrategyReduceThenJoin.String()) {
+		t.Errorf("fallback chain out of order: %q", falls)
+	}
+}
+
+// TestAutoLadderDegradesToProgram forces the triejoin rung to blow its
+// budget too (on Example 3 it never does naturally — its charge is inputs
+// plus output, strictly below every other rung — so a failpoint injects the
+// budget abort on the third attempt) and checks the ladder still bottoms
+// out on the paper's program route with the full three-rung fallback chain.
+func TestAutoLadderDegradesToProgram(t *testing.T) {
+	defer failpoint.Reset()
+	db := example3DB(t, 10)
+	want := db.Join()
+	failpoint.Enable("engine.strategy", 3, govern.ErrTupleBudget)
+	rep, err := Join(db, Options{Limits: govern.Limits{MaxTuples: ladderBudget}})
+	if err != nil {
+		t.Fatalf("ladder failed: %v", err)
+	}
+	if rep.Strategy != StrategyProgram {
+		t.Errorf("ladder landed on %s, want %s", rep.Strategy, StrategyProgram)
+	}
+	if !rep.Result.Equal(want) {
+		t.Errorf("wrong result: %d tuples, want %d", rep.Result.Len(), want.Len())
+	}
+	var falls []string
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "degradation:") {
+			falls = append(falls, n)
+		}
+	}
+	if len(falls) != 3 {
+		t.Fatalf("want 3 degradation notes, got %d: %q", len(falls), rep.Notes)
+	}
+	if !strings.Contains(falls[0], StrategyExpression.String()) ||
+		!strings.Contains(falls[1], StrategyReduceThenJoin.String()) ||
+		!strings.Contains(falls[2], StrategyWCOJ.String()) {
 		t.Errorf("fallback chain out of order: %q", falls)
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/acyclic"
 	"repro/internal/core"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/jointree"
 	"repro/internal/optimizer"
 	"repro/internal/relation"
+	"repro/internal/wcoj"
 )
 
 // Plan is a reusable execution plan for one database scheme: the outcome of
@@ -41,6 +43,10 @@ type Plan struct {
 	// Derivation carries the CPF tree and derived program for
 	// StrategyProgram (Algorithms 1 and 2, run once at plan time).
 	Derivation *core.Derivation
+	// VarOrder is the global variable order for StrategyWCOJ (nil for the
+	// other strategies). Like the trees and programs above it depends only
+	// on the scheme, never on the instance, so it is cache-reusable.
+	VarOrder []string
 	// Notes records how the plan was obtained (search used, bound factors).
 	Notes []string
 }
@@ -58,17 +64,34 @@ func Resolve(h *hypergraph.Hypergraph, s Strategy) Strategy {
 	return StrategyProgram
 }
 
-// ParseStrategy parses a strategy name as printed by Strategy.String.
-func ParseStrategy(s string) (Strategy, error) {
-	for _, cand := range []Strategy{
+// Strategies lists every selectable strategy, Auto first.
+func Strategies() []Strategy {
+	return []Strategy{
 		StrategyAuto, StrategyProgram, StrategyExpression,
-		StrategyReduceThenJoin, StrategyAcyclic, StrategyDirect,
-	} {
+		StrategyReduceThenJoin, StrategyAcyclic, StrategyDirect, StrategyWCOJ,
+	}
+}
+
+// StrategyNames lists the parseable strategy names, in Strategies order —
+// the canonical enumeration for CLI usage strings and error messages.
+func StrategyNames() []string {
+	all := Strategies()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.String()
+	}
+	return names
+}
+
+// ParseStrategy parses a strategy name as printed by Strategy.String. The
+// error enumerates every valid name.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, cand := range Strategies() {
 		if cand.String() == s {
 			return cand, nil
 		}
 	}
-	return 0, fmt.Errorf("engine: unknown strategy %q (want auto, program, cpf-expression, reduce-then-join, acyclic, or direct)", s)
+	return 0, fmt.Errorf("engine: unknown strategy %q (valid strategies: %s)", s, strings.Join(StrategyNames(), ", "))
 }
 
 // canonicalize permutes db into canonical edge order, returning the
@@ -128,6 +151,9 @@ func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
 		// The full-reducer pipeline is search-free; the plan is the strategy.
 	case StrategyDirect:
 		p.Tree = leftDeep(cdb.Len())
+	case StrategyWCOJ:
+		p.VarOrder = wcoj.VariableOrder(ch)
+		p.Notes = append(p.Notes, "variable order derived greedily: connected prefixes first, ties to the attribute on most edges")
 	case StrategyExpression, StrategyReduceThenJoin:
 		space := optimizer.SpaceCPF
 		if !ch.Connected(ch.Full()) {
@@ -244,6 +270,18 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 			Cost:     total,
 			Plan:     plan.Tree.String(ch),
 			Notes:    []string{fmt.Sprintf("pairwise reduction: %d rounds, %d tuples removed", red.Rounds, red.Removed)},
+		}
+	case StrategyWCOJ:
+		res, err := wcoj.JoinGoverned(cdb, plan.VarOrder, gov, opts.workerCount())
+		if err != nil {
+			return nil, err
+		}
+		rep = &Report{
+			Result:   res.Output,
+			Strategy: StrategyWCOJ,
+			Cost:     int64(cdb.TotalTuples()) + int64(res.Output.Len()),
+			Plan:     "leapfrog triejoin, variable order: " + strings.Join(plan.VarOrder, " "),
+			Notes:    wcojNotes(res),
 		}
 	case StrategyAcyclic:
 		out, cost, err := acyclic.JoinGoverned(cdb, gov)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -148,5 +149,79 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	if st.Hits+st.Misses == 0 {
 		t.Error("no lookups recorded")
+	}
+}
+
+// TestDistinctStrategiesSameFingerprintDoNotCoalesce: the serving layer keys
+// plans as fingerprint + "#" + strategy, so one scheme queried under two
+// strategies at once must run exactly one computation *per strategy* — the
+// flights coalesce within a key, never across keys — and evicting one
+// strategy's plan must not disturb the other's.
+func TestDistinctStrategiesSameFingerprintDoNotCoalesce(t *testing.T) {
+	c := New(4)
+	const fp = "scheme-fp"
+	strategies := []engine.Strategy{engine.StrategyProgram, engine.StrategyWCOJ}
+	computes := make([]atomic.Int64, len(strategies))
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for si, s := range strategies {
+		key := fp + "#" + s.String()
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(si int, s engine.Strategy, key string) {
+				defer wg.Done()
+				p, _, err := c.GetOrCompute(key, func() (*engine.Plan, error) {
+					computes[si].Add(1)
+					<-release
+					return &engine.Plan{Fingerprint: fp, Strategy: s}, nil
+				})
+				if err != nil {
+					t.Errorf("%s: %v", key, err)
+					return
+				}
+				if p.Strategy != s {
+					t.Errorf("key %s handed back a %s plan: strategies crossed flights", key, p.Strategy)
+				}
+			}(si, s, key)
+		}
+	}
+	// No flight can finish before release closes, so every caller either
+	// starts a flight (one per key) or blocks coalesced on it; wait for the
+	// counters to show all 16 are parked before letting the flights land.
+	for {
+		st := c.Stats()
+		if st.Misses == int64(len(strategies)) && st.Coalesced == int64(len(strategies))*7 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for si, s := range strategies {
+		if got := computes[si].Load(); got != 1 {
+			t.Errorf("strategy %s computed %d times, want 1", s, got)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != int64(len(strategies)) {
+		t.Errorf("misses = %d, want one per strategy", st.Misses)
+	}
+	if st.Coalesced != int64(len(strategies))*7 {
+		t.Errorf("coalesced = %d, want 7 per strategy", st.Coalesced)
+	}
+	// Evict the program entry by filling the cache around it; the wcoj entry,
+	// kept recently used, must survive with its own plan.
+	wcojKey := fp + "#" + engine.StrategyWCOJ.String()
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("filler%d", i), plan("filler"))
+		if _, ok := c.Get(wcojKey); !ok {
+			t.Fatalf("wcoj plan evicted while recently used (filler %d)", i)
+		}
+	}
+	if _, ok := c.Get(fp + "#" + engine.StrategyProgram.String()); ok {
+		t.Error("program plan should have been evicted by the fillers")
+	}
+	if p, ok := c.Get(wcojKey); !ok || p.Strategy != engine.StrategyWCOJ {
+		t.Error("wcoj plan lost or corrupted after evictions")
 	}
 }

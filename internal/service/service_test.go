@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -430,5 +431,76 @@ func TestStrategyVariantsServeCorrectResults(t *testing.T) {
 	// Distinct strategies occupy distinct cache keys.
 	if st := s.Stats(); st.PlanCache.Len < 4 {
 		t.Errorf("plan cache has %d entries, want ≥ 4 distinct strategies", st.PlanCache.Len)
+	}
+}
+
+// TestWCOJStrategyOverService: the worst-case-optimal route is selectable
+// through the serving layer, its plan (the derived variable order) is
+// cached and shared, and concurrent queries over the one cached plan are
+// race-clean — each execution carries its own governor and iterators.
+func TestWCOJStrategyOverService(t *testing.T) {
+	s := New(Config{Workers: 4})
+	db := triangleDB(t)
+	if _, err := s.Register("tri", db); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Join()
+	rep, err := s.Query(context.Background(), Request{Database: "tri", Strategy: "wcoj"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy.String() != "wcoj" {
+		t.Errorf("ran %s, want wcoj", rep.Strategy)
+	}
+	if !rep.Result.Equal(want) {
+		t.Error("wcoj result != ⋈D")
+	}
+	if rep.PlanCacheHit {
+		t.Error("first wcoj query reported a cache hit")
+	}
+
+	const queries = 12
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := s.Query(context.Background(), Request{
+				Database: "tri", Strategy: "wcoj", Workers: 1 + i%3,
+			})
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if !rep.Result.Equal(want) {
+				t.Errorf("query %d: wrong result", i)
+			}
+			if rep.PlanCacheHit {
+				hits.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if hits.Load() != queries {
+		t.Errorf("%d/%d concurrent wcoj queries hit the cached plan", hits.Load(), queries)
+	}
+}
+
+// TestBadStrategyEnumeratesNames: a rejected strategy must tell the caller
+// what it could have said — including the wcoj route.
+func TestBadStrategyEnumeratesNames(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if _, err := s.Register("tri", triangleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Query(context.Background(), Request{Database: "tri", Strategy: "bogus"})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	for _, name := range []string{"auto", "program", "cpf-expression", "reduce-then-join", "acyclic", "direct", "wcoj"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
 	}
 }

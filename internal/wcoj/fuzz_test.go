@@ -1,0 +1,120 @@
+package wcoj
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzTrieIter drives the trie iterator with an arbitrary row set and an
+// arbitrary forward-only seek/next script, checking every step against a
+// naive model: the sorted distinct values of the open level. The first byte
+// sizes the relation, the next 2n bytes are (x, y) rows, and the remainder
+// is the script (even byte = next, odd byte = seek to byte>>1, both mod the
+// value domain). After the script, whatever position the iterator holds is
+// opened one level down and the child keys are compared against the model's
+// sub-list for that prefix.
+func FuzzTrieIter(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 1, 3, 5, 0, 5, 9, 7, 12, 3})
+	f.Add([]byte{8, 0, 0, 0, 1, 1, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 2, 9, 4})
+	f.Add([]byte{1, 15, 15, 31, 31, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0]%24) + 1
+		if len(data) < 1+2*n {
+			return
+		}
+		rel := relation.New(relation.MustSchema("x", "y"))
+		for i := 0; i < n; i++ {
+			rel.MustInsert(relation.Ints(int64(data[1+2*i]%16), int64(data[2+2*i]%16)))
+		}
+		tr, err := buildTrie(rel, []string{"x", "y"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Naive model: distinct x values ascending, and per x the distinct
+		// y values ascending.
+		children := map[int64][]int64{}
+		for _, row := range rel.Rows() {
+			x, y := row[0].AsInt(), row[1].AsInt()
+			children[x] = append(children[x], y)
+		}
+		var xs []int64
+		for x, ys := range children {
+			xs = append(xs, x)
+			sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+			children[x] = dedupeSorted(ys)
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+
+		it := newTrieIter(tr)
+		it.open()
+		idx := 0
+		check := func() {
+			if got, want := it.atEnd(), idx >= len(xs); got != want {
+				t.Fatalf("atEnd = %v, model says %v (idx %d of %d)", got, want, idx, len(xs))
+			}
+			if !it.atEnd() {
+				if got := it.key().AsInt(); got != xs[idx] {
+					t.Fatalf("key = %d, model says %d", got, xs[idx])
+				}
+			}
+		}
+		check()
+		for _, op := range data[1+2*n:] {
+			if it.atEnd() {
+				break
+			}
+			if op%2 == 0 {
+				it.next()
+				idx++
+			} else {
+				v := int64((op >> 1) % 16)
+				it.seek(relation.Int(v))
+				for idx < len(xs) && xs[idx] < v {
+					idx++
+				}
+			}
+			check()
+		}
+
+		if it.atEnd() {
+			return
+		}
+		// Descend: the child level must enumerate exactly the model's
+		// distinct y values under the current x, and up() must restore the
+		// parent position.
+		x := xs[idx]
+		it.open()
+		for _, wantY := range children[x] {
+			if it.atEnd() {
+				t.Fatalf("child level of x=%d ended early, want %d", x, wantY)
+			}
+			if got := it.key().AsInt(); got != wantY {
+				t.Fatalf("child key = %d, want %d under x=%d", got, wantY, x)
+			}
+			it.next()
+		}
+		if !it.atEnd() {
+			t.Fatalf("child level of x=%d has extra keys past %v", x, children[x])
+		}
+		it.up()
+		if got := it.key().AsInt(); got != x {
+			t.Fatalf("up() lost the parent position: key = %d, want %d", got, x)
+		}
+	})
+}
+
+func dedupeSorted(vs []int64) []int64 {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

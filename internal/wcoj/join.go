@@ -1,0 +1,87 @@
+package wcoj
+
+import (
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// executor holds the per-enumeration state: one trie iterator per relation
+// (over shared, read-only trie indexes) and, per variable, the relations
+// whose schemes contain it. Executors are cheap — the parallel variant
+// builds one per worker.
+type executor struct {
+	order []string
+	byVar [][]int // byVar[v] = indexes of the relations containing order[v]
+	iters []*trieIter
+}
+
+// newExecutor builds fresh iterators over the shared tries.
+func newExecutor(order []string, tries []*trieIndex) *executor {
+	ex := &executor{
+		order: order,
+		byVar: make([][]int, len(order)),
+		iters: make([]*trieIter, len(tries)),
+	}
+	for i, t := range tries {
+		ex.iters[i] = newTrieIter(t)
+	}
+	for v, name := range order {
+		for i, t := range tries {
+			if t.has(name) {
+				ex.byVar[v] = append(ex.byVar[v], i)
+			}
+		}
+	}
+	return ex
+}
+
+// run enumerates all extensions of binding[0:v] to full results, calling
+// emit with the (reused) full binding for each. Invariant: when run is
+// entered at variable v, every relation's iterator has exactly its
+// attributes among order[0:v] open — so the relations of byVar[v] are each
+// one open() away from the level keyed by order[v]. Every leapfrog step
+// charges a zero delta to scope, so deadlines and cancellation are observed
+// during long seek streaks that emit nothing.
+func (ex *executor) run(v int, binding []relation.Value, scope *govern.OpScope, emit func([]relation.Value) error) error {
+	if v == len(ex.order) {
+		return emit(binding)
+	}
+	rels := ex.byVar[v]
+	level := make([]*trieIter, len(rels))
+	for i, r := range rels {
+		ex.iters[r].open()
+		level[i] = ex.iters[r]
+	}
+	defer func() {
+		for _, r := range rels {
+			ex.iters[r].up()
+		}
+	}()
+	for lf := newLeapfrog(level); !lf.done; lf.next() {
+		if err := scope.Add(0); err != nil {
+			return err
+		}
+		binding[v] = lf.key()
+		if err := ex.run(v+1, binding, scope, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumerate runs the full sequential join, charging each output tuple.
+func enumerate(order []string, tries []*trieIndex, scope *govern.OpScope) (*relation.Relation, error) {
+	out := relation.New(relation.MustSchema(order...))
+	ex := newExecutor(order, tries)
+	emit := func(binding []relation.Value) error {
+		if err := scope.Add(1); err != nil {
+			return err
+		}
+		out.MustInsert(append(relation.Tuple(nil), binding...))
+		return nil
+	}
+	if err := ex.run(0, make([]relation.Value, len(order)), scope, emit); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package wcoj
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// leapfrog is the k-way intersection at one variable: all iterators are
+// open at the level keyed by that variable, and the leapfrog positions them
+// on successive keys present in *every* iterator. The classic invariant:
+// the iterators, read circularly from p, are at non-decreasing keys, and
+// iters[p] holds the smallest; search repeatedly seeks the smallest up to
+// the largest until all keys agree.
+type leapfrog struct {
+	iters []*trieIter
+	p     int
+	done  bool
+}
+
+// newLeapfrog positions the intersection at its first common key, if any.
+// It reorders the given slice in place; callers pass a fresh slice.
+func newLeapfrog(iters []*trieIter) *leapfrog {
+	lf := &leapfrog{iters: iters}
+	for _, it := range iters {
+		if it.atEnd() {
+			lf.done = true
+			return lf
+		}
+	}
+	sort.SliceStable(lf.iters, func(i, j int) bool {
+		return lf.iters[i].key().Compare(lf.iters[j].key()) < 0
+	})
+	lf.search()
+	return lf
+}
+
+// search restores the invariant: seek the smallest iterator to the largest
+// key until every iterator agrees (a common key, not past it) or one runs
+// out.
+func (lf *leapfrog) search() {
+	k := len(lf.iters)
+	max := lf.iters[(lf.p+k-1)%k].key()
+	for {
+		it := lf.iters[lf.p]
+		if it.key().Compare(max) == 0 {
+			return // all k iterators are at max: a common key
+		}
+		it.seek(max)
+		if it.atEnd() {
+			lf.done = true
+			return
+		}
+		max = it.key()
+		lf.p = (lf.p + 1) % k
+	}
+}
+
+// key returns the current common key; the leapfrog must not be done.
+func (lf *leapfrog) key() relation.Value {
+	return lf.iters[lf.p].key()
+}
+
+// next advances past the current common key to the following one, if any.
+func (lf *leapfrog) next() {
+	it := lf.iters[lf.p]
+	it.next()
+	if it.atEnd() {
+		lf.done = true
+		return
+	}
+	lf.p = (lf.p + 1) % len(lf.iters)
+	lf.search()
+}
+
+// seek advances the intersection to the first common key ≥ v.
+func (lf *leapfrog) seek(v relation.Value) {
+	it := lf.iters[lf.p]
+	it.seek(v)
+	if it.atEnd() {
+		lf.done = true
+		return
+	}
+	lf.p = (lf.p + 1) % len(lf.iters)
+	lf.search()
+}

@@ -1,0 +1,75 @@
+package wcoj
+
+import (
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// VariableOrder returns a deterministic global attribute order for the
+// scheme — the variable order Leapfrog Triejoin binds attributes in.
+//
+// The heuristic is greedy: at each step the candidate set is the unchosen
+// attributes that co-occur in some edge with an already-chosen attribute
+// (so every prefix of the order induces a connected sub-scheme whenever the
+// scheme is connected — the trie prefixes then actually constrain each
+// other instead of enumerating a product); among candidates, the attribute
+// contained in the most edges wins (intersecting more relations earlier
+// prunes harder), with lexicographic order breaking ties. When no candidate
+// is adjacent (at the start, or when a connected component is exhausted on
+// a disconnected scheme) the same rule applies over all unchosen
+// attributes.
+//
+// The result depends only on the scheme as a multiset of attribute sets —
+// degrees and attribute names are invariant under edge reordering — so the
+// order is stable across the canonical permutation plan caching applies
+// (hypergraph.CanonicalOrder) and any other edge order of the same scheme.
+func VariableOrder(h *hypergraph.Hypergraph) []string {
+	attrs := h.Attrs()
+	degree := make(map[string]int, attrs.Len())
+	for _, e := range h.Edges() {
+		for _, a := range e {
+			degree[a]++
+		}
+	}
+	var chosen relation.AttrSet
+	remaining := append([]string(nil), attrs...) // sorted: AttrSet is sorted
+	order := make([]string, 0, attrs.Len())
+	for len(remaining) > 0 {
+		// Adjacent candidates: attributes sharing an edge with the prefix.
+		var candidates []string
+		if len(chosen) > 0 {
+			for _, a := range remaining {
+				if adjacent(h, a, chosen) {
+					candidates = append(candidates, a)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = remaining
+		}
+		best := candidates[0]
+		for _, a := range candidates[1:] {
+			if degree[a] > degree[best] || (degree[a] == degree[best] && a < best) {
+				best = a
+			}
+		}
+		order = append(order, best)
+		chosen = chosen.Union(relation.NewAttrSet(best))
+		i := sort.SearchStrings(remaining, best)
+		remaining = append(remaining[:i], remaining[i+1:]...)
+	}
+	return order
+}
+
+// adjacent reports whether some edge contains a together with a chosen
+// attribute.
+func adjacent(h *hypergraph.Hypergraph, a string, chosen relation.AttrSet) bool {
+	for _, e := range h.Edges() {
+		if e.Contains(a) && e.Overlaps(chosen) {
+			return true
+		}
+	}
+	return false
+}

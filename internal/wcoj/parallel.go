@@ -1,0 +1,116 @@
+package wcoj
+
+import (
+	"sync"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// enumerateParallel splits the outermost variable's key range across
+// workers: the depth-0 intersection keys are computed once (cheap — one
+// leapfrog pass over the top trie levels), partitioned into contiguous
+// chunks, and each worker enumerates its chunk with its own iterators over
+// the shared tries. All workers charge the one shared scope (OpScope.Add is
+// atomic), so budgets and the charged totals are identical to the
+// sequential run; the chunks bind disjoint outermost keys, so the merged
+// outputs are disjoint too.
+func enumerateParallel(order []string, tries []*trieIndex, scope *govern.OpScope, workers int) (*relation.Relation, error) {
+	keys, err := topKeys(order, tries, scope)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	out := relation.New(relation.MustSchema(order...))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	if workers < 2 {
+		res, err := enumerate(order, tries, scope)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	parts := make([][]relation.Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous ranges keep every worker's seeks forward-only.
+		chunk := keys[w*len(keys)/workers : (w+1)*len(keys)/workers]
+		wg.Add(1)
+		go func(w int, chunk []relation.Value) {
+			defer wg.Done()
+			parts[w], errs[w] = runKeys(order, tries, chunk, scope)
+		}(w, chunk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range parts {
+		for _, t := range part {
+			out.MustInsert(t)
+		}
+	}
+	return out, nil
+}
+
+// topKeys returns the sorted intersection of the outermost variable's
+// values across the relations containing it.
+func topKeys(order []string, tries []*trieIndex, scope *govern.OpScope) ([]relation.Value, error) {
+	ex := newExecutor(order, tries)
+	rels := ex.byVar[0]
+	level := make([]*trieIter, len(rels))
+	for i, r := range rels {
+		ex.iters[r].open()
+		level[i] = ex.iters[r]
+	}
+	var keys []relation.Value
+	for lf := newLeapfrog(level); !lf.done; lf.next() {
+		if err := scope.Add(0); err != nil {
+			return nil, err
+		}
+		keys = append(keys, lf.key())
+	}
+	return keys, nil
+}
+
+// runKeys enumerates the full bindings whose outermost value lies in the
+// given ascending key chunk, collecting output tuples locally.
+func runKeys(order []string, tries []*trieIndex, chunk []relation.Value, scope *govern.OpScope) ([]relation.Tuple, error) {
+	ex := newExecutor(order, tries)
+	rels := ex.byVar[0]
+	for _, r := range rels {
+		ex.iters[r].open()
+	}
+	var out []relation.Tuple
+	emit := func(binding []relation.Value) error {
+		if err := scope.Add(1); err != nil {
+			return err
+		}
+		out = append(out, append(relation.Tuple(nil), binding...))
+		return nil
+	}
+	binding := make([]relation.Value, len(order))
+	for _, key := range chunk {
+		if err := scope.Add(0); err != nil {
+			return nil, err
+		}
+		// Every chunk key is in the depth-0 intersection, so each seek lands
+		// exactly on it.
+		for _, r := range rels {
+			ex.iters[r].seek(key)
+		}
+		binding[0] = key
+		if err := ex.run(1, binding, scope, emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

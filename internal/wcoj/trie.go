@@ -1,0 +1,184 @@
+package wcoj
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// trieIndex is one relation indexed for a variable order: its tuples with
+// columns permuted into the global order restricted to the relation's
+// attributes, sorted lexicographically. The sorted array *is* the trie —
+// level d of the trie is the d-th column, and a node is a run of rows
+// sharing a prefix — so building it costs one permuted copy plus a sort,
+// and iterators are just index ranges over shared rows.
+type trieIndex struct {
+	// attrs is the relation's schema in variable-order position: the level-d
+	// key of the trie is attribute attrs[d].
+	attrs []string
+	// rows holds the permuted tuples, sorted lexicographically.
+	rows [][]relation.Value
+}
+
+// buildTrie indexes rel along order, charging one tuple per index entry to
+// scope (nil scope charges nothing).
+func buildTrie(rel *relation.Relation, order []string, scope *govern.OpScope) (*trieIndex, error) {
+	schema := rel.Schema()
+	attrs := make([]string, 0, schema.Len())
+	for _, v := range order {
+		if schema.Has(v) {
+			attrs = append(attrs, v)
+		}
+	}
+	if len(attrs) != schema.Len() {
+		return nil, fmt.Errorf("wcoj: order %v does not cover schema %s", order, schema)
+	}
+	pos, err := schema.Positions(attrs)
+	if err != nil {
+		return nil, err
+	}
+	t := &trieIndex{attrs: attrs, rows: make([][]relation.Value, 0, rel.Len())}
+	for _, row := range rel.Rows() {
+		if err := scope.Add(1); err != nil {
+			return nil, err
+		}
+		p := make([]relation.Value, len(pos))
+		for i, c := range pos {
+			p[i] = row[c]
+		}
+		t.rows = append(t.rows, p)
+	}
+	sort.Slice(t.rows, func(i, j int) bool { return compareRows(t.rows[i], t.rows[j]) < 0 })
+	return t, nil
+}
+
+// compareRows orders equal-length value slices lexicographically.
+func compareRows(a, b []relation.Value) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// has reports whether attribute v is a level of this trie.
+func (t *trieIndex) has(v string) bool {
+	for _, a := range t.attrs {
+		if a == v {
+			return true
+		}
+	}
+	return false
+}
+
+// trieIter is the classical Leapfrog-Triejoin trie iterator over a
+// trieIndex: open descends one level, up ascends, and within a level next
+// and seek step through the *distinct* values of that level's column under
+// the current prefix. State per level is a row range [lo, hi) (the rows
+// matching the prefix above) and pos, the first row of the current value
+// group; the current key is rows[pos][depth].
+type trieIter struct {
+	t     *trieIndex
+	depth int // -1 = root (no level open)
+	lo    []int
+	hi    []int
+	pos   []int
+}
+
+// newTrieIter returns an iterator positioned at the root.
+func newTrieIter(t *trieIndex) *trieIter {
+	n := len(t.attrs)
+	return &trieIter{
+		t:     t,
+		depth: -1,
+		lo:    make([]int, n),
+		hi:    make([]int, n),
+		pos:   make([]int, n),
+	}
+}
+
+// atEnd reports whether the iterator has exhausted the current level.
+func (it *trieIter) atEnd() bool {
+	return it.pos[it.depth] >= it.hi[it.depth]
+}
+
+// key returns the current value at the open level; the iterator must not be
+// atEnd.
+func (it *trieIter) key() relation.Value {
+	return it.t.rows[it.pos[it.depth]][it.depth]
+}
+
+// open descends to the first key of the next level: from the root, to the
+// first value of column 0; from an open level (not atEnd), into the rows of
+// the current value group.
+func (it *trieIter) open() {
+	if it.depth < 0 {
+		it.depth = 0
+		it.lo[0], it.hi[0], it.pos[0] = 0, len(it.t.rows), 0
+		return
+	}
+	d := it.depth
+	lo, hi := it.pos[d], it.groupEnd(d)
+	it.depth = d + 1
+	it.lo[it.depth], it.hi[it.depth], it.pos[it.depth] = lo, hi, lo
+}
+
+// up ascends one level, restoring the parent's position.
+func (it *trieIter) up() { it.depth-- }
+
+// next advances to the level's next distinct key.
+func (it *trieIter) next() {
+	it.pos[it.depth] = it.groupEnd(it.depth)
+}
+
+// seek advances to the first key ≥ v, or atEnd when none remains. Seeks
+// only move forward (the LFTJ contract: the sought key is ≥ the current
+// key). It gallops — doubling steps from the current position, then binary
+// search within the bracket — so a seek costs O(log distance) rather than
+// O(log |level|), which is what makes leapfrogging skew-resistant.
+func (it *trieIter) seek(v relation.Value) {
+	d := it.depth
+	rows, hi := it.t.rows, it.hi[d]
+	lo := it.pos[d]
+	if lo >= hi || rows[lo][d].Compare(v) >= 0 {
+		return
+	}
+	// Gallop: find the smallest bracket [lo+step/2, lo+step] containing the
+	// target, capped at hi.
+	step := 1
+	for lo+step < hi && rows[lo+step][d].Compare(v) < 0 {
+		lo += step
+		step <<= 1
+	}
+	end := lo + step
+	if end > hi {
+		end = hi
+	}
+	it.pos[d] = lo + sort.Search(end-lo, func(i int) bool {
+		return rows[lo+i][d].Compare(v) >= 0
+	})
+}
+
+// groupEnd returns the first row index after the current value group at
+// level d: the rows [pos, groupEnd) all share rows[pos][d].
+func (it *trieIter) groupEnd(d int) int {
+	rows := it.t.rows
+	lo, hi := it.pos[d], it.hi[d]
+	v := rows[lo][d]
+	// The same gallop as seek: value groups are often short.
+	step := 1
+	for lo+step < hi && rows[lo+step][d].Compare(v) == 0 {
+		lo += step
+		step <<= 1
+	}
+	end := lo + step
+	if end > hi {
+		end = hi
+	}
+	return lo + sort.Search(end-lo, func(i int) bool {
+		return rows[lo+i][d].Compare(v) > 0
+	})
+}

@@ -1,0 +1,133 @@
+// Package wcoj implements a worst-case-optimal join backend: Leapfrog
+// Triejoin (Veldhuizen, ICDT 2013 — see PAPERS.md) computing ⋈D
+// attribute-by-attribute instead of relation-by-relation.
+//
+// The paper's Example 3 exhibits cyclic schemes on which *every*
+// Cartesian-product-free join expression — and hence every pairwise plan,
+// however well ordered — is unboundedly worse than optimal. Worst-case
+// optimal joins sidestep the pairwise bottleneck entirely: a global order
+// is fixed over the scheme's attributes (variables), each relation is
+// trie-indexed along that order, and the join is a nested multiway
+// intersection — for each binding of the first variable present in every
+// relation containing it, recurse on the second, and so on. No pairwise
+// intermediate is ever materialized; the only tuples produced are the
+// output itself, and the total work is bounded by the AGM fractional-cover
+// bound rather than by the best pairwise plan.
+//
+// The package provides:
+//
+//   - VariableOrder: a deterministic global attribute order for a scheme,
+//     preferring orders whose prefixes stay connected (order.go);
+//   - trie indexes over sorted, order-permuted tuples with the classical
+//     open/up/next/seek iterator interface (trie.go);
+//   - the leapfrog k-way intersection of trie levels (leapfrog.go);
+//   - Join / JoinGoverned: the full multiway join, with governed variants
+//     charging trie construction and output tuples against a
+//     govern.Governor and polling deadlines mid-iteration (join.go), and a
+//     partition-parallel variant that splits the outermost variable's key
+//     range across workers (parallel.go).
+//
+// The engine exposes all of this as StrategyWCOJ and slots it into the
+// governed auto-degradation ladder ahead of the program route on cyclic
+// schemes.
+package wcoj
+
+import (
+	"fmt"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+)
+
+// Result is the outcome of a governed join: the output plus the
+// accounting an EXPLAIN wants.
+type Result struct {
+	// Output is ⋈D over the variable order's schema (one column per
+	// variable, in order).
+	Output *relation.Relation
+	// TrieTuples is the number of index entries built — Σ|Rᵢ|, since each
+	// trie re-sorts its relation without generating new tuples.
+	TrieTuples int64
+	// Vars is the global variable order the join ran with.
+	Vars []string
+	// Workers is the number of goroutines enumeration used (1 = sequential).
+	Workers int
+}
+
+// Join computes the natural join of db along the given variable order with
+// no resource governance; order must cover exactly the scheme's attributes
+// (VariableOrder provides one).
+func Join(db *relation.Database, order []string) (*relation.Relation, error) {
+	res, err := JoinGoverned(db, order, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}
+
+// JoinGoverned computes the natural join of db along the given variable
+// order under gov (nil = no limits), enumerating with up to workers
+// goroutines (values below 2 run sequentially). Trie construction charges
+// one tuple per index entry under the operator "wcoj.trie" (one scope per
+// relation, so MaxIntermediateTuples bounds any single index); enumeration
+// charges each output tuple — and polls cancellation/deadline on every
+// leapfrog step, even when nothing is emitted — under "wcoj.join".
+func JoinGoverned(db *relation.Database, order []string, gov *govern.Governor, workers int) (*Result, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("wcoj: empty database")
+	}
+	if err := checkOrder(db, order); err != nil {
+		return nil, err
+	}
+	tries := make([]*trieIndex, db.Len())
+	var trieTuples int64
+	for i := 0; i < db.Len(); i++ {
+		scope, err := gov.Begin("wcoj.trie")
+		if err != nil {
+			return nil, err
+		}
+		tr, err := buildTrie(db.Relation(i), order, scope)
+		if err != nil {
+			return nil, err
+		}
+		tries[i] = tr
+		trieTuples += int64(len(tr.rows))
+	}
+	scope, err := gov.Begin("wcoj.join")
+	if err != nil {
+		return nil, err
+	}
+	if workers < 2 {
+		workers = 1
+	}
+	var out *relation.Relation
+	if workers == 1 {
+		out, err = enumerate(order, tries, scope)
+	} else {
+		out, err = enumerateParallel(order, tries, scope, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, TrieTuples: trieTuples, Vars: order, Workers: workers}, nil
+}
+
+// checkOrder validates that order is a permutation of the scheme's
+// attributes.
+func checkOrder(db *relation.Database, order []string) error {
+	attrs := db.Attrs()
+	if len(order) != attrs.Len() {
+		return fmt.Errorf("wcoj: order has %d variables, scheme has %d attributes", len(order), attrs.Len())
+	}
+	seen := make(map[string]bool, len(order))
+	for _, v := range order {
+		if seen[v] {
+			return fmt.Errorf("wcoj: variable %q repeats in the order", v)
+		}
+		seen[v] = true
+		if !attrs.Contains(v) {
+			return fmt.Errorf("wcoj: variable %q is not a scheme attribute", v)
+		}
+	}
+	return nil
+}

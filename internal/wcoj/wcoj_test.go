@@ -1,0 +1,257 @@
+package wcoj
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/govern"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// triangleDB builds the classic triangle query R(A,B) ⋈ S(B,C) ⋈ T(A,C)
+// with edges of the small graph 0–1, 0–2, 1–2, 1–3: triangles {0,1,2} only.
+func triangleDB(t *testing.T) *relation.Database {
+	t.Helper()
+	edges := [][2]int64{{0, 1}, {0, 2}, {1, 2}, {1, 3}}
+	mk := func(a, b string) *relation.Relation {
+		r := relation.New(relation.MustSchema(a, b))
+		for _, e := range edges {
+			r.MustInsert(relation.Ints(e[0], e[1]))
+		}
+		return r
+	}
+	return relation.MustDatabase(mk("A", "B"), mk("B", "C"), mk("A", "C"))
+}
+
+func TestTriangleKnownResult(t *testing.T) {
+	db := triangleDB(t)
+	order := VariableOrder(hypergraph.OfScheme(db))
+	out, err := Join(db, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("triangle count = %d, want 1", out.Len())
+	}
+	if !out.Equal(db.Join()) {
+		t.Error("triangle join disagrees with the reference fold")
+	}
+}
+
+func TestExample3Agrees(t *testing.T) {
+	spec, err := workload.Example3(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := VariableOrder(hypergraph.OfScheme(db))
+	out, err := Join(db, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(db.Join()) {
+		t.Errorf("Example 3 join wrong: %d tuples, want %d", out.Len(), db.Join().Len())
+	}
+}
+
+func TestAcyclicChainAgrees(t *testing.T) {
+	db, err := workload.ChainDatabase(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := VariableOrder(hypergraph.OfScheme(db))
+	out, err := Join(db, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(db.Join()) {
+		t.Error("chain join disagrees with the reference fold")
+	}
+}
+
+func TestEmptyRelationEmptyJoin(t *testing.T) {
+	db := triangleDB(t)
+	empty := relation.New(relation.MustSchema("A", "C"))
+	db = relation.MustDatabase(db.Relation(0), db.Relation(1), empty)
+	out, err := Join(db, VariableOrder(hypergraph.OfScheme(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("join with an empty relation has %d tuples", out.Len())
+	}
+}
+
+func TestSingleRelation(t *testing.T) {
+	r := relation.New(relation.MustSchema("B", "A"))
+	r.MustInsert(relation.Ints(1, 2))
+	r.MustInsert(relation.Ints(3, 4))
+	db := relation.MustDatabase(r)
+	out, err := Join(db, VariableOrder(hypergraph.OfScheme(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(r) {
+		t.Error("single-relation join should be the relation itself")
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	db := triangleDB(t)
+	cases := [][]string{
+		{"A", "B"},           // too short
+		{"A", "B", "B"},      // repeat
+		{"A", "B", "Z"},      // not an attribute
+		{"A", "B", "C", "D"}, // too long
+	}
+	for _, order := range cases {
+		if _, err := Join(db, order); err == nil {
+			t.Errorf("order %v accepted", order)
+		}
+	}
+	if _, err := Join(nil, nil); err == nil {
+		t.Error("nil database accepted")
+	}
+}
+
+func TestGovernedChargesTrieAndOutput(t *testing.T) {
+	db := triangleDB(t)
+	gov := govern.New(govern.Limits{MaxTuples: 1 << 40})
+	res, err := JoinGoverned(db, VariableOrder(hypergraph.OfScheme(db)), gov, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrieTuples != int64(db.TotalTuples()) {
+		t.Errorf("TrieTuples = %d, want Σ inputs = %d", res.TrieTuples, db.TotalTuples())
+	}
+	want := res.TrieTuples + int64(res.Output.Len())
+	if got := gov.Produced(); got != want {
+		t.Errorf("Produced = %d, want trie + output = %d", got, want)
+	}
+}
+
+func TestGovernedMatchesUngoverned(t *testing.T) {
+	spec, err := workload.Example3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spec.CycleDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := VariableOrder(hypergraph.OfScheme(db))
+	plain, err := Join(db, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JoinGoverned(db, order, govern.New(govern.Limits{MaxTuples: 1 << 40}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(res.Output) {
+		t.Error("governed run changed the result")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h, err := workload.CliqueScheme(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := workload.RandomDatabase(rng, h, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := VariableOrder(h)
+	seqGov := govern.New(govern.Limits{MaxTuples: 1 << 40})
+	seq, err := JoinGoverned(db, order, seqGov, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		parGov := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		par, err := JoinGoverned(db, order, parGov, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !par.Output.Equal(seq.Output) {
+			t.Errorf("workers=%d: result differs from sequential", workers)
+		}
+		if parGov.Produced() != seqGov.Produced() {
+			t.Errorf("workers=%d: Produced = %d, sequential charged %d",
+				workers, parGov.Produced(), seqGov.Produced())
+		}
+	}
+}
+
+func TestTupleBudgetAborts(t *testing.T) {
+	db := triangleDB(t)
+	// Below Σ inputs: the trie build itself must blow the budget.
+	gov := govern.New(govern.Limits{MaxTuples: 3})
+	if _, err := JoinGoverned(db, VariableOrder(hypergraph.OfScheme(db)), gov, 1); !errors.Is(err, govern.ErrTupleBudget) {
+		t.Fatalf("want ErrTupleBudget, got %v", err)
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	db := triangleDB(t)
+	gov := govern.New(govern.Limits{Deadline: time.Now().Add(-time.Second)})
+	if _, err := JoinGoverned(db, VariableOrder(hypergraph.OfScheme(db)), gov, 1); !errors.Is(err, govern.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+func TestDuplicateSchemes(t *testing.T) {
+	// Two relations over the same attributes intersect tuple-wise.
+	a := relation.New(relation.MustSchema("X", "Y"))
+	b := relation.New(relation.MustSchema("Y", "X"))
+	for i := int64(0); i < 10; i++ {
+		a.MustInsert(relation.Ints(i, i+1))
+	}
+	for i := int64(5); i < 15; i++ {
+		b.MustInsert(relation.Ints(i+1, i)) // (Y, X) = (i+1, i): same pairs shifted
+	}
+	db := relation.MustDatabase(a, b)
+	out, err := Join(db, VariableOrder(hypergraph.OfScheme(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(db.Join()) {
+		t.Error("duplicate-scheme intersection wrong")
+	}
+	if out.Len() != 5 {
+		t.Errorf("intersection size = %d, want 5", out.Len())
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 60; trial++ {
+		h, err := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+			Relations: 2 + rng.Intn(4), Attrs: 5, MaxArity: 3, Connected: rng.Intn(2) == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(15), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := VariableOrder(h)
+		out, err := Join(db, order)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !out.Equal(db.Join()) {
+			t.Fatalf("trial %d: wrong result on %s", trial, h)
+		}
+	}
+}
