@@ -9,14 +9,18 @@
 //	joind [-addr :8080] [-workers n] [-queue-depth n] [-queue-timeout 5s]
 //	      [-plan-cache 128] [-global-max-tuples n] [-max-tuples-per-query n]
 //	      [-default-timeout d] [-search-budget n] [-query-workers n]
-//	      [-worker-budget n] [-preload name=r1.tsv,r2.tsv,...]
+//	      [-worker-budget n] [-slow-threshold d] [-slow-log n]
+//	      [-preload name=r1.tsv,r2.tsv,...]
 //
-// API (see docs/SERVICE.md for the full reference and a worked session):
+// API (see docs/SERVICE.md for the full reference and a worked session,
+// and docs/OBSERVABILITY.md for the metrics and slow-query log):
 //
 //	POST /v1/databases  register a named database
 //	GET  /v1/databases  list the catalog
 //	POST /v1/query      join a registered database
 //	GET  /v1/stats      service + plan-cache counters
+//	GET  /v1/slow       slow-query log with span-tree drill-down
+//	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
@@ -53,21 +57,25 @@ func main() {
 	searchBudget := flag.Int64("search-budget", 0, "optimizer search budget on plan-cache misses (0 = optimizer default)")
 	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism cap per query (0 or 1 = sequential)")
 	workerBudget := flag.Int64("worker-budget", 0, "total intra-query worker goroutines across queries (0 = workers × query-workers)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "capture queries at least this slow in the slow-query log, with span trees (0 = disabled; 1ns = everything)")
+	slowLogSize := flag.Int("slow-log", 0, "slow-query log capacity in entries (0 = default)")
 	preload := flag.String("preload", "", "semicolon-separated name=r1.tsv,r2.tsv,... databases to register at startup")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		QueueTimeout:      *queueTimeout,
-		PlanCacheSize:     *planCache,
-		GlobalMaxTuples:   *globalMaxTuples,
-		MaxTuplesPerQuery: *maxTuplesPerQuery,
-		DefaultTimeout:    *defaultTimeout,
-		SearchBudget:      *searchBudget,
-		QueryWorkers:      *queryWorkers,
-		WorkerBudget:      *workerBudget,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		QueueTimeout:       *queueTimeout,
+		PlanCacheSize:      *planCache,
+		GlobalMaxTuples:    *globalMaxTuples,
+		MaxTuplesPerQuery:  *maxTuplesPerQuery,
+		DefaultTimeout:     *defaultTimeout,
+		SearchBudget:       *searchBudget,
+		QueryWorkers:       *queryWorkers,
+		WorkerBudget:       *workerBudget,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogSize:        *slowLogSize,
 	})
 	if *preload != "" {
 		if err := preloadDatabases(svc, *preload); err != nil {

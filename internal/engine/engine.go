@@ -12,6 +12,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/program"
 	"repro/internal/relation"
@@ -108,6 +109,14 @@ type Options struct {
 	// runs sequentially regardless (its semijoin passes are already linear
 	// in the inputs).
 	Workers int
+	// Trace, when non-nil, is the parent span the execution hangs its span
+	// tree under: strategy resolution, one attempt span per strategy tried,
+	// and per-phase / per-statement / per-variable children below each
+	// attempt, every span carrying its wall time and the tuples the governor
+	// charged during it. Tracing forces governor accounting on (so
+	// Report.Produced is meaningful even without limits) and adds no cost at
+	// all when nil.
+	Trace *obs.Span
 }
 
 // workerCount normalizes Options.Workers: anything below 2 is sequential.
@@ -130,8 +139,12 @@ type Report struct {
 	// excluded; Options.Budget bounds that separately.
 	Cost int64
 	// Produced is the number of tuples the governor charged during the
-	// winning execution attempt (0 when no limits were set).
+	// winning execution attempt (0 when neither limits nor tracing were
+	// set).
 	Produced int64
+	// TraceID identifies the query's span tree when tracing was enabled
+	// (set by the serving layer; empty otherwise).
+	TraceID string
 	// Plan describes the executed plan: the join expression and, for the
 	// program strategies, the derived statements.
 	Plan string
@@ -167,6 +180,9 @@ type StepTiming struct {
 func (r *Report) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s\n", r.Strategy)
+	if r.TraceID != "" {
+		fmt.Fprintf(&b, "trace:    %s\n", r.TraceID)
+	}
 	fmt.Fprintf(&b, "cost:     %d tuples (inputs + every generated relation)\n", r.Cost)
 	fmt.Fprintf(&b, "result:   %d tuples\n", r.Result.Len())
 	if r.PlanCacheHit {
@@ -212,26 +228,68 @@ func Join(db *relation.Database, opts Options) (*Report, error) {
 	if opts.Strategy == StrategyAuto && opts.Limits.Enabled() {
 		return joinLadder(db, h, opts)
 	}
-	return runStrategy(db, h, Resolve(h, opts.Strategy), opts, newGovernor(opts))
+	strat := Resolve(h, opts.Strategy)
+	if opts.Trace != nil {
+		sp := opts.Trace.Child(obs.KindResolve, "resolve strategy")
+		sp.Note("%s resolved to %s", opts.Strategy, strat)
+		sp.End()
+	}
+	return runStrategy(db, h, strat, opts, newGovernor(opts))
 }
 
 // newGovernor builds the execution governor for one strategy attempt and
-// wires the fault-injection registry into it.
+// wires the fault-injection registry into it. Tracing forces per-tuple
+// accounting on so span charges and Report.Produced stay meaningful for
+// unlimited executions.
 func newGovernor(opts Options) *govern.Governor {
 	gov := govern.New(opts.Limits)
 	gov.SetFailpoint(failpoint.Check)
+	if opts.Trace != nil {
+		gov.Observe()
+	}
 	return gov
+}
+
+// tracedPhase runs one phase of a strategy attempt under a child span of
+// the governor's current span, charging the span with the governor delta
+// the phase produced. Untraced executions call fn with no overhead at all.
+// The delta protocol is sound here because engine-level phases run
+// sequentially: nothing else charges the governor during fn.
+func tracedPhase(gov *govern.Governor, kind obs.Kind, name string, fn func() error) error {
+	parent := gov.Span()
+	if parent == nil {
+		return fn()
+	}
+	sp := parent.Child(kind, name)
+	defer sp.End()
+	before := gov.Produced()
+	err := fn()
+	sp.AddTuples(gov.Produced() - before)
+	if err != nil {
+		sp.Note("failed: %v", err)
+	}
+	return err
 }
 
 // runStrategy executes one already-resolved (non-Auto) strategy under the
 // given governor. The failpoint site "engine.strategy" fires once per
-// attempt, before any work.
-func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy, opts Options, gov *govern.Governor) (*Report, error) {
+// attempt, before any work. When tracing is on, the whole attempt runs
+// under an attempt span hung off Options.Trace, and the governor carries it
+// down to the executors (govern.Governor.SetSpan).
+func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy, opts Options, gov *govern.Governor) (rep *Report, err error) {
+	if opts.Trace != nil {
+		span := opts.Trace.Child(obs.KindAttempt, "attempt: "+strat.String())
+		gov.SetSpan(span)
+		defer func() {
+			if err != nil {
+				span.Note("failed: %v", err)
+			}
+			span.End()
+		}()
+	}
 	if _, err := gov.Begin("engine.strategy"); err != nil {
 		return nil, err
 	}
-	var rep *Report
-	var err error
 	switch strat {
 	case StrategyProgram:
 		rep, err = joinProgram(db, h, opts, gov)
@@ -269,6 +327,27 @@ func runProgram(p *program.Program, db *relation.Database, gov *govern.Governor,
 	default:
 		return p.ApplyGoverned(db, gov)
 	}
+}
+
+// runProgramTraced is runProgram under an "execute program" span: the
+// governor's span is swapped to the execute span for the duration so the
+// executors' per-statement spans nest under it, then restored. The swap is
+// safe because the executors' worker goroutines are spawned (and joined)
+// strictly inside the call.
+func runProgramTraced(p *program.Program, db *relation.Database, gov *govern.Governor, opts Options) (*program.Result, error) {
+	parent := gov.Span()
+	if parent == nil {
+		return runProgram(p, db, gov, opts)
+	}
+	exec := parent.Child(obs.KindExecute, "execute program")
+	gov.SetSpan(exec)
+	res, err := runProgram(p, db, gov, opts)
+	gov.SetSpan(parent)
+	if err != nil {
+		exec.Note("failed: %v", err)
+	}
+	exec.End()
+	return res, err
 }
 
 // stepTimings converts a program trace into Report.Steps.
@@ -310,6 +389,15 @@ func degradable(err error) bool {
 // rungs unchanged.
 func joinLadder(db *relation.Database, h *hypergraph.Hypergraph, opts Options) (*Report, error) {
 	ladder := DegradationLadder(h)
+	if opts.Trace != nil {
+		names := make([]string, len(ladder))
+		for i, s := range ladder {
+			names[i] = s.String()
+		}
+		sp := opts.Trace.Child(obs.KindResolve, "resolve strategy")
+		sp.Note("governed auto: degradation ladder %s", strings.Join(names, " -> "))
+		sp.End()
+	}
 	var chain []string
 	for i, strat := range ladder {
 		rep, err := runStrategy(db, h, strat, opts, newGovernor(opts))
@@ -360,15 +448,20 @@ func joinProgram(db *relation.Database, h *hypergraph.Hypergraph, opts Options, 
 		rep.Notes = append(rep.Notes, "scheme disconnected: fell back to expression evaluation")
 		return rep, nil
 	}
-	tree, how, err := bestTree(db, h, opts.Budget, optimizer.SpaceAll)
-	if err != nil {
+	var tree *jointree.Tree
+	var how string
+	var d *core.Derivation
+	if err := tracedPhase(gov, obs.KindPlan, "optimize and derive program", func() (err error) {
+		tree, how, err = bestTree(db, h, opts.Budget, optimizer.SpaceAll)
+		if err != nil {
+			return err
+		}
+		d, err = core.DeriveFromTree(tree, h, nil)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	d, err := core.DeriveFromTree(tree, h, nil)
-	if err != nil {
-		return nil, err
-	}
-	res, err := runProgram(d.Program, db, gov, opts)
+	res, err := runProgramTraced(d.Program, db, gov, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -400,12 +493,20 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 	if !h.Connected(h.Full()) {
 		space = optimizer.SpaceAll
 	}
-	tree, how, err := bestTree(db, h, opts.Budget, space)
-	if err != nil {
+	var tree *jointree.Tree
+	var how string
+	if err := tracedPhase(gov, obs.KindPlan, "optimize expression", func() (err error) {
+		tree, how, err = bestTree(db, h, opts.Budget, space)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	out, cost, err := tree.EvalParallelGoverned(db, gov, opts.workerCount())
-	if err != nil {
+	var out *relation.Relation
+	var cost int
+	if err := tracedPhase(gov, obs.KindEval, "evaluate expression", func() (err error) {
+		out, cost, err = tree.EvalParallelGoverned(db, gov, opts.workerCount())
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Report{
@@ -420,20 +521,31 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 // joinReduceThenJoin reduces pairwise to a fixpoint, then evaluates the
 // cheapest CPF expression over the reduced database.
 func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
-	red, err := PairwiseReduceGoverned(db, 0, gov)
-	if err != nil {
+	var red *PairwiseReduction
+	if err := tracedPhase(gov, obs.KindReduce, "pairwise semijoin reduction", func() (err error) {
+		red, err = PairwiseReduceGoverned(db, 0, gov)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	space := optimizer.SpaceCPF
 	if !h.Connected(h.Full()) {
 		space = optimizer.SpaceAll
 	}
-	tree, how, err := bestTree(red.Database, h, opts.Budget, space)
-	if err != nil {
+	var tree *jointree.Tree
+	var how string
+	if err := tracedPhase(gov, obs.KindPlan, "optimize expression", func() (err error) {
+		tree, how, err = bestTree(red.Database, h, opts.Budget, space)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	out, joinCost, err := tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
-	if err != nil {
+	var out *relation.Relation
+	var joinCost int
+	if err := tracedPhase(gov, obs.KindEval, "evaluate expression", func() (err error) {
+		out, joinCost, err = tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	// Total: the original inputs once, the reduction heads, the join's
@@ -454,8 +566,12 @@ func joinReduceThenJoin(db *relation.Database, h *hypergraph.Hypergraph, opts Op
 
 // joinAcyclic runs the classical full-reduce + monotone-join pipeline.
 func joinAcyclic(db *relation.Database, h *hypergraph.Hypergraph, gov *govern.Governor) (*Report, error) {
-	out, cost, err := acyclic.JoinGoverned(db, gov)
-	if err != nil {
+	var out *relation.Relation
+	var cost int
+	if err := tracedPhase(gov, obs.KindPipeline, "full-reducer pipeline", func() (err error) {
+		out, cost, err = acyclic.JoinGoverned(db, gov)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	jt, _ := h.GYO()
@@ -503,8 +619,12 @@ func joinDirect(db *relation.Database, h *hypergraph.Hypergraph, opts Options, g
 	for i := 1; i < db.Len(); i++ {
 		tree = jointree.NewJoin(tree, jointree.NewLeaf(i))
 	}
-	out, cost, err := tree.EvalParallelGoverned(db, gov, opts.workerCount())
-	if err != nil {
+	var out *relation.Relation
+	var cost int
+	if err := tracedPhase(gov, obs.KindEval, "evaluate left-deep expression", func() (err error) {
+		out, cost, err = tree.EvalParallelGoverned(db, gov, opts.workerCount())
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Report{

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/relation"
 	"repro/internal/wcoj"
@@ -210,7 +211,7 @@ func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
 // The plan is not mutated, so concurrent ExecutePlan calls on one plan are
 // safe — including parallel executions of the same cached plan, each with
 // its own governor and worker pool.
-func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, error) {
+func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (rep *Report, err error) {
 	if plan == nil {
 		return nil, fmt.Errorf("engine: nil plan")
 	}
@@ -226,13 +227,22 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 		return nil, err
 	}
 	gov := newGovernor(opts)
+	if opts.Trace != nil {
+		span := opts.Trace.Child(obs.KindAttempt, "execute plan: "+plan.Strategy.String())
+		gov.SetSpan(span)
+		defer func() {
+			if err != nil {
+				span.Note("failed: %v", err)
+			}
+			span.End()
+		}()
+	}
 	if _, err := gov.Begin("engine.strategy"); err != nil {
 		return nil, err
 	}
-	var rep *Report
 	switch plan.Strategy {
 	case StrategyProgram:
-		res, err := runProgram(plan.Derivation.Program, cdb, gov, opts)
+		res, err := runProgramTraced(plan.Derivation.Program, cdb, gov, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -244,8 +254,12 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 			Steps:    stepTimings(res.Trace),
 		}
 	case StrategyExpression, StrategyDirect:
-		out, cost, err := plan.Tree.EvalParallelGoverned(cdb, gov, opts.workerCount())
-		if err != nil {
+		var out *relation.Relation
+		var cost int
+		if err := tracedPhase(gov, obs.KindEval, "evaluate expression", func() (err error) {
+			out, cost, err = plan.Tree.EvalParallelGoverned(cdb, gov, opts.workerCount())
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		rep = &Report{
@@ -255,12 +269,19 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 			Plan:     plan.Tree.String(ch),
 		}
 	case StrategyReduceThenJoin:
-		red, err := PairwiseReduceGoverned(cdb, 0, gov)
-		if err != nil {
+		var red *PairwiseReduction
+		if err := tracedPhase(gov, obs.KindReduce, "pairwise semijoin reduction", func() (err error) {
+			red, err = PairwiseReduceGoverned(cdb, 0, gov)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		out, joinCost, err := plan.Tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
-		if err != nil {
+		var out *relation.Relation
+		var joinCost int
+		if err := tracedPhase(gov, obs.KindEval, "evaluate expression", func() (err error) {
+			out, joinCost, err = plan.Tree.EvalParallelGoverned(red.Database, gov, opts.workerCount())
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		total := int64(cdb.TotalTuples()) + int64(red.Cost) + int64(joinCost) - int64(red.Database.TotalTuples())
@@ -284,8 +305,12 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (*Report, erro
 			Notes:    wcojNotes(res),
 		}
 	case StrategyAcyclic:
-		out, cost, err := acyclic.JoinGoverned(cdb, gov)
-		if err != nil {
+		var out *relation.Relation
+		var cost int
+		if err := tracedPhase(gov, obs.KindPipeline, "full-reducer pipeline", func() (err error) {
+			out, cost, err = acyclic.JoinGoverned(cdb, gov)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		jt, _ := ch.GYO()

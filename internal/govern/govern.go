@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Sentinel errors; match with errors.Is. Concrete errors returned by the
@@ -142,6 +144,7 @@ type Governor struct {
 	done        <-chan struct{}
 	produced    atomic.Int64
 	failpoint   func(op string) error
+	span        *obs.Span
 }
 
 // New returns a Governor enforcing lim. It is valid (and cheap) to create
@@ -180,6 +183,36 @@ func (g *Governor) Limits() Limits {
 func (g *Governor) SetFailpoint(fn func(op string) error) {
 	if g != nil {
 		g.failpoint = fn
+	}
+}
+
+// SetSpan attaches the current tracing span, letting deep executors (the
+// program schedulers, the wcoj enumerator) hang child spans off the
+// governor they already receive instead of growing every signature. Like
+// SetFailpoint it is installed by a single goroutine before the executor
+// fans out, so no synchronization is needed; executors read it with Span.
+func (g *Governor) SetSpan(s *obs.Span) {
+	if g != nil {
+		g.span = s
+	}
+}
+
+// Span returns the span installed with SetSpan; nil when untraced (and on
+// the nil Governor), which child-span call sites use to skip span-name
+// formatting entirely.
+func (g *Governor) Span() *obs.Span {
+	if g == nil {
+		return nil
+	}
+	return g.span
+}
+
+// Observe forces per-tuple accounting on even when no limit is set, so that
+// Produced is meaningful for a traced but unlimited execution. The engine
+// calls it when tracing is enabled.
+func (g *Governor) Observe() {
+	if g != nil {
+		g.active = true
 	}
 }
 

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one captured slow query: the metadata a dashboard lists plus
+// the full span tree for drill-down.
+type SlowEntry struct {
+	// TraceID identifies the query across the response, the slow log, and
+	// any external trace store.
+	TraceID string `json:"trace_id"`
+	// Database is the catalog name queried.
+	Database string `json:"database"`
+	// Strategy is the resolved execution route ("none" when the query was
+	// rejected before resolution).
+	Strategy string `json:"strategy"`
+	// Status is "ok", "rejected", "aborted", or "failed".
+	Status string `json:"status"`
+	// Error carries the failure for non-ok statuses.
+	Error string `json:"error,omitempty"`
+	// Start is when the query began (admission included).
+	Start time.Time `json:"start"`
+	// WallMS is the query's total wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// QueueWaitMS is the admission queue wait in milliseconds.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Cost and Produced echo the report's §2.3 cost and governor charge.
+	Cost     int64 `json:"cost"`
+	Produced int64 `json:"produced"`
+	// Trace is the query's span tree (nil when tracing was off).
+	Trace *SpanJSON `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded in-memory log of the most recent queries slower than
+// a threshold. Safe for concurrent use; a nil *SlowLog records nothing.
+type SlowLog struct {
+	threshold time.Duration
+	capacity  int
+
+	mu       sync.Mutex
+	entries  []SlowEntry
+	recorded int64
+}
+
+// DefaultSlowLogCapacity bounds the log when NewSlowLog is given no
+// capacity.
+const DefaultSlowLogCapacity = 64
+
+// NewSlowLog returns a log capturing queries with wall time >= threshold,
+// keeping the most recent capacity entries (capacity <= 0 =
+// DefaultSlowLogCapacity). A threshold <= 0 captures every query — useful
+// for smoke tests and debugging sessions.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogCapacity
+	}
+	return &SlowLog{threshold: threshold, capacity: capacity}
+}
+
+// Threshold returns the capture threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Capacity returns the retention bound.
+func (l *SlowLog) Capacity() int {
+	if l == nil {
+		return 0
+	}
+	return l.capacity
+}
+
+// Record captures e if its wall time meets the threshold, evicting the
+// oldest entry when full. It reports whether the entry was kept.
+func (l *SlowLog) Record(e SlowEntry) bool {
+	if l == nil || e.WallMS < float64(l.threshold)/float64(time.Millisecond) {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.capacity {
+		l.entries = append(l.entries[:0], l.entries[len(l.entries)-l.capacity:]...)
+	}
+	l.recorded++
+	return true
+}
+
+// Entries returns the captured queries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, len(l.entries))
+	for i, e := range l.entries {
+		out[len(out)-1-i] = e
+	}
+	return out
+}
+
+// Recorded returns the total entries ever captured (including evicted).
+func (l *SlowLog) Recorded() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}

@@ -59,12 +59,14 @@ func (p *Program) ApplyIndexedGoverned(db *relation.Database, g *govern.Governor
 		if _, err := g.Begin("program.Stmt"); err != nil {
 			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		span := beginStmtSpan(g, s)
 		var out *relation.Relation
 		switch s.Op {
 		case OpProject:
 			var err error
 			out, err = relation.ProjectGoverned(g, env[s.Arg1], s.Proj)
 			if err != nil {
+				span.finish(0, err)
 				return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 			}
 		case OpJoin, OpSemijoin:
@@ -83,6 +85,7 @@ func (p *Program) ApplyIndexedGoverned(db *relation.Database, g *govern.Governor
 					var err error
 					ix, err = relation.NewIndex(r, common)
 					if err != nil {
+						span.finish(0, err)
 						return nil, fmt.Errorf("program: statement %d: %v", i+1, err)
 					}
 					indexes[key] = ix
@@ -94,6 +97,7 @@ func (p *Program) ApplyIndexedGoverned(db *relation.Database, g *govern.Governor
 					out, err = relation.SemijoinWithIndexGoverned(g, l, ix)
 				}
 				if err != nil {
+					span.finish(0, err)
 					return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 				}
 			} else {
@@ -104,10 +108,12 @@ func (p *Program) ApplyIndexedGoverned(db *relation.Database, g *govern.Governor
 					out, err = relation.SemijoinGoverned(g, l, r)
 				}
 				if err != nil {
+					span.finish(0, err)
 					return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 				}
 			}
 		}
+		span.finish(out.Len(), nil)
 		env[s.Head] = out
 		cost += out.Len()
 		res.Trace = append(res.Trace, Step{Stmt: s, Schema: out.Schema(), Size: out.Len()})

@@ -148,6 +148,9 @@ func (p *Program) ApplyParallelGoverned(db *relation.Database, g *govern.Governo
 		if _, err := g.Begin("program.Stmt"); err != nil {
 			return fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		// Concurrent statements open sibling spans on the shared parent;
+		// Span.Child is safe for that.
+		span := beginStmtSpan(g, s)
 		start := time.Now()
 		var out *relation.Relation
 		var err error
@@ -160,8 +163,10 @@ func (p *Program) ApplyParallelGoverned(db *relation.Database, g *govern.Governo
 			out, err = relation.ParallelSemijoinGoverned(g, resolve(nodes[i].arg1), resolve(nodes[i].arg2), workers)
 		}
 		if err != nil {
+			span.finish(0, err)
 			return fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		span.finish(out.Len(), nil)
 		vals[i] = out
 		steps[i] = Step{Stmt: s, Schema: out.Schema(), Size: out.Len(), Wall: time.Since(start)}
 		// Release dependents; close ready once the last statement finishes,

@@ -13,6 +13,7 @@ import (
 	"unicode"
 
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -205,6 +206,35 @@ func (p *Program) Apply(db *relation.Database) (*Result, error) {
 	return p.ApplyGoverned(db, nil)
 }
 
+// beginStmtSpan opens a tracing span for one statement when the governor
+// carries a span (govern.Governor.SetSpan), returning the zero value — and
+// formatting nothing — when untraced. The span is charged with the head
+// cardinality, which is exactly what the statement's relation operator
+// charges the governor, so span totals reconcile with Governor.Produced.
+type stmtSpan struct{ sp *obs.Span }
+
+func beginStmtSpan(g *govern.Governor, s Stmt) stmtSpan {
+	parent := g.Span()
+	if parent == nil {
+		return stmtSpan{}
+	}
+	return stmtSpan{sp: parent.Child(obs.KindStmt, s.String())}
+}
+
+// finish closes the span with the statement's head cardinality, or the
+// failure when err is non-nil.
+func (t stmtSpan) finish(produced int, err error) {
+	if t.sp == nil {
+		return
+	}
+	if err != nil {
+		t.sp.Note("failed: %v", err)
+	} else {
+		t.sp.AddTuples(int64(produced))
+	}
+	t.sp.End()
+}
+
 // ApplyGoverned is Apply under a governor: every statement head charges its
 // tuples against the budgets, the governor's failpoint hook fires at each
 // statement boundary (site "program.Stmt"), and cancellation aborts between
@@ -229,6 +259,7 @@ func (p *Program) ApplyGoverned(db *relation.Database, g *govern.Governor) (*Res
 		if _, err := g.Begin("program.Stmt"); err != nil {
 			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		span := beginStmtSpan(g, s)
 		start := time.Now()
 		var out *relation.Relation
 		var err error
@@ -241,8 +272,10 @@ func (p *Program) ApplyGoverned(db *relation.Database, g *govern.Governor) (*Res
 			out, err = relation.SemijoinGoverned(g, env[s.Arg1], env[s.Arg2])
 		}
 		if err != nil {
+			span.finish(0, err)
 			return nil, fmt.Errorf("program: statement %d (%s): %w", i+1, s, err)
 		}
+		span.finish(out.Len(), nil)
 		env[s.Head] = out
 		cost += out.Len()
 		res.Trace = append(res.Trace, Step{Stmt: s, Schema: out.Schema(), Size: out.Len(), Wall: time.Since(start)})

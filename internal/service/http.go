@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -17,6 +18,8 @@ import (
 //	GET  /v1/databases  list the catalog
 //	POST /v1/query      join a registered database
 //	GET  /v1/stats      service + plan-cache counters
+//	GET  /v1/slow       slow-query log (trace drill-down included)
+//	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness
 //
 // Admission rejections (queue full, queue timeout, global budget) are 429;
@@ -58,8 +61,11 @@ type queryRequest struct {
 
 // queryResponse is the body of a successful POST /v1/query.
 type queryResponse struct {
-	Database    string  `json:"database"`
-	Strategy    string  `json:"strategy"`
+	Database string `json:"database"`
+	Strategy string `json:"strategy"`
+	// TraceID identifies the query's span tree (present when the service
+	// runs with a tracer or the slow-query log enabled).
+	TraceID     string  `json:"trace_id,omitempty"`
 	Cost        int64   `json:"cost"`
 	Produced    int64   `json:"produced"`
 	ResultCount int     `json:"result_count"`
@@ -92,6 +98,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/slow", s.handleSlow)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -141,6 +149,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := queryResponse{
 		Database:    req.Database,
 		Strategy:    rep.Strategy.String(),
+		TraceID:     rep.TraceID,
 		Cost:        rep.Cost,
 		Produced:    rep.Produced,
 		ResultCount: rep.Result.Len(),
@@ -158,6 +167,32 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// slowResponse is the body of GET /v1/slow.
+type slowResponse struct {
+	Enabled     bool            `json:"enabled"`
+	ThresholdMS float64         `json:"threshold_ms"`
+	Capacity    int             `json:"capacity"`
+	Recorded    int64           `json:"recorded"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Service) handleSlow(w http.ResponseWriter, r *http.Request) {
+	l := s.slowLog
+	resp := slowResponse{Enabled: l != nil, Entries: []obs.SlowEntry{}}
+	if l != nil {
+		resp.ThresholdMS = float64(l.Threshold()) / float64(time.Millisecond)
+		resp.Capacity = l.Capacity()
+		resp.Recorded = l.Recorded()
+		resp.Entries = l.Entries()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics().WriteText(w)
 }
 
 // truncate returns r limited to max tuples (max <= 0 = no limit), and

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"repro/internal/obs"
+)
+
+// serviceMetrics is the service's Prometheus registry: the series behind
+// GET /metrics. Event-driven series (counters, histograms) are updated on
+// the query path; occupancy series read the service's existing atomic
+// counters and plan-cache stats at scrape time, so scraping duplicates no
+// state. Every series here is documented in docs/OBSERVABILITY.md.
+type serviceMetrics struct {
+	registry *obs.Registry
+
+	// queries partitions finished admissions by executed strategy and
+	// outcome ("ok", "rejected", "aborted", "failed").
+	queries *obs.CounterVec
+	// tuples is the total governor charge across successful queries.
+	tuples *obs.Counter
+	// duration and queueWait are end-to-end latency and admission-queue
+	// wait, in seconds.
+	duration  *obs.Histogram
+	queueWait *obs.Histogram
+	// slow counts queries captured by the slow-query log.
+	slow *obs.Counter
+}
+
+// newServiceMetrics builds and registers the full series set against s.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	r := obs.NewRegistry()
+	m := &serviceMetrics{
+		registry: r,
+		queries: r.CounterVec("joind_queries_total",
+			"Queries finished, by executed strategy and outcome (ok, rejected, aborted, failed).",
+			"strategy", "status"),
+		tuples: r.Counter("joind_tuples_produced_total",
+			"Tuples charged by the governor across successful queries (the paper's generated relations)."),
+		duration: r.Histogram("joind_query_duration_seconds",
+			"End-to-end query latency, admission queue included.", nil),
+		queueWait: r.Histogram("joind_queue_wait_seconds",
+			"Time admitted queries spent waiting for a worker slot.", nil),
+		slow: r.Counter("joind_slow_queries_total",
+			"Queries at or above the slow-query threshold (captured in the slow-query log)."),
+	}
+
+	r.GaugeFunc("joind_in_flight_queries",
+		"Queries holding a worker slot right now.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	r.GaugeFunc("joind_queued_queries",
+		"Queries waiting for a worker slot right now.",
+		func() float64 { return float64(s.queued.Load()) })
+	r.GaugeFunc("joind_worker_utilization",
+		"In-flight queries over the worker-pool size (0..1).",
+		func() float64 { return float64(s.inFlight.Load()) / float64(s.cfg.Workers) })
+	r.GaugeFunc("joind_registered_databases",
+		"Databases in the catalog.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.dbs))
+		})
+
+	r.CounterFunc("joind_plan_cache_hits_total",
+		"Plan-cache lookups answered from the cache (coalesced waits included).",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.CounterFunc("joind_plan_cache_misses_total",
+		"Plan-cache lookups that derived a new plan.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.CounterFunc("joind_plan_cache_evictions_total",
+		"Plan-cache entries dropped to respect capacity.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	r.GaugeFunc("joind_plan_cache_entries",
+		"Plans currently cached.",
+		func() float64 { return float64(s.cache.Stats().Len) })
+	r.GaugeFunc("joind_plan_cache_hit_ratio",
+		"Hits over lookups since start (0 when no lookups yet).",
+		func() float64 {
+			st := s.cache.Stats()
+			if st.Hits+st.Misses == 0 {
+				return 0
+			}
+			return float64(st.Hits) / float64(st.Hits+st.Misses)
+		})
+
+	r.GaugeFunc("joind_tuple_budget_remaining",
+		"Unreserved part of the global tuple budget (-1 when unlimited).",
+		func() float64 {
+			if s.cfg.GlobalMaxTuples <= 0 {
+				return -1
+			}
+			return float64(s.budgetRemaining.Load())
+		})
+	r.GaugeFunc("joind_tuple_budget_total",
+		"Configured global tuple budget (-1 when unlimited).",
+		func() float64 {
+			if s.cfg.GlobalMaxTuples <= 0 {
+				return -1
+			}
+			return float64(s.cfg.GlobalMaxTuples)
+		})
+	r.GaugeFunc("joind_worker_budget_remaining",
+		"Unreserved part of the intra-query worker pool (-1 when parallelism is off or unlimited).",
+		func() float64 {
+			if s.cfg.QueryWorkers <= 1 || s.cfg.WorkerBudget <= 0 {
+				return -1
+			}
+			return float64(s.workersRemaining.Load())
+		})
+	r.CounterFunc("joind_worker_grants_degraded_total",
+		"Queries granted fewer intra-query workers than asked (worker budget depleted).",
+		func() float64 { return float64(s.workersDegraded.Load()) })
+	r.CounterFunc("joind_ladder_degradations_total",
+		"Cached-plan executions that blew their budget and re-ran the degradation ladder.",
+		func() float64 { return float64(s.degraded.Load()) })
+
+	return m
+}

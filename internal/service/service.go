@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/govern"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/relation"
 )
@@ -90,6 +91,21 @@ type Config struct {
 	// Workers × QueryWorkers when QueryWorkers > 1 (no degradation under
 	// the configured concurrency), and is ignored while QueryWorkers <= 1.
 	WorkerBudget int64
+	// Tracer, when non-nil, receives every query's finished span tree
+	// (obs.Collector is the in-memory implementation; joinrun uses it for
+	// -trace). Independent of the Tracer, span trees are also produced
+	// whenever the slow-query log is enabled, so slow entries carry their
+	// drill-down; with neither configured, queries run with tracing fully
+	// off — zero allocation on the hot path.
+	Tracer obs.Tracer
+	// SlowQueryThreshold enables the bounded in-memory slow-query log:
+	// queries whose end-to-end wall time meets the threshold are captured
+	// with their span trees and served at GET /v1/slow. 0 disables the log;
+	// use a tiny threshold (say time.Nanosecond) to capture every query.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query log's retained entries
+	// (default obs.DefaultSlowLogCapacity).
+	SlowLogSize int
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -194,9 +210,11 @@ type Stats struct {
 // Service serves joins over a catalog of registered databases. Construct
 // with New; all methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	cache *plancache.Cache
-	slots chan struct{}
+	cfg     Config
+	cache   *plancache.Cache
+	slots   chan struct{}
+	metrics *serviceMetrics
+	slowLog *obs.SlowLog // nil when SlowQueryThreshold is 0
 
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
@@ -221,8 +239,19 @@ func New(cfg Config) *Service {
 	}
 	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
 	s.workersRemaining.Store(cfg.WorkerBudget)
+	if cfg.SlowQueryThreshold > 0 {
+		s.slowLog = obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize)
+	}
+	s.metrics = newServiceMetrics(s)
 	return s
 }
+
+// SlowLog returns the slow-query log, nil when disabled.
+func (s *Service) SlowLog() *obs.SlowLog { return s.slowLog }
+
+// Metrics returns the service's Prometheus registry (the body of
+// GET /metrics).
+func (s *Service) Metrics() *obs.Registry { return s.metrics.registry }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -389,7 +418,14 @@ func (s *Service) carveWorkers(asked int) (int, bool, func()) {
 // the plan once, coalescing concurrent misses), governed execution of the
 // plan, and — if a cached plan blows its tuple budget under the auto
 // strategy — a fallback to the engine's degradation ladder. The returned
-// Report carries PlanCacheHit and QueueWait.
+// Report carries PlanCacheHit, QueueWait, and — when tracing is on — the
+// TraceID of the query's span tree.
+//
+// Every query updates the Prometheus registry (strategy/status counters,
+// latency and queue-wait histograms); with a Tracer or the slow-query log
+// configured, the query additionally builds a span tree, hands it to the
+// Tracer, and captures it in the slow log when the wall time meets the
+// threshold.
 func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error) {
 	e, err := s.lookup(req.Database)
 	if err != nil {
@@ -399,11 +435,43 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	start := time.Now()
+	trace := s.startTrace(req.Database)
+	rep, err := s.execute(ctx, e, strat, req, trace)
+	s.finish(trace, req, rep, err, start)
+	return rep, err
+}
+
+// startTrace begins a span tree for one query when anything will consume
+// it: the configured Tracer, or the slow-query log. Returns nil otherwise,
+// which disables tracing end to end at zero cost.
+func (s *Service) startTrace(database string) *obs.Trace {
+	if s.cfg.Tracer != nil {
+		return s.cfg.Tracer.StartQuery(database)
+	}
+	if s.slowLog != nil {
+		return obs.NewTrace(database)
+	}
+	return nil
+}
+
+// execute is the admission + plan-cache + execution core of Query, with
+// trace spans (queue, plan cache; the engine hangs the rest off the root)
+// when trace is non-nil.
+func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Strategy, req Request, trace *obs.Trace) (*engine.Report, error) {
+	var qspan *obs.Span
+	if trace != nil {
+		qspan = trace.Root.Child(obs.KindQueue, "admission queue")
+	}
 	wait, releaseSlot, err := s.acquire(ctx)
 	if err != nil {
+		qspan.Note("rejected: %v", err)
+		qspan.End()
 		s.rejected.Add(1)
 		return nil, err
 	}
+	qspan.End()
+	s.metrics.queueWait.Observe(wait.Seconds())
 	defer releaseSlot()
 	grant, releaseBudget, err := s.carve(req.MaxTuples)
 	if err != nil {
@@ -417,6 +485,14 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 		s.workersDegraded.Add(1)
 	}
 	s.queries.Add(1)
+	if trace != nil {
+		if grant > 0 {
+			trace.Root.Note("tuple budget granted: %d", grant)
+		}
+		if workers > 1 {
+			trace.Root.Note("intra-query workers granted: %d", workers)
+		}
+	}
 
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -434,6 +510,9 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 		Limits:           lim,
 		Workers:          workers,
 	}
+	if trace != nil {
+		opts.Trace = trace.Root
+	}
 
 	// Resolve auto against the registered scheme so the cache key pins the
 	// actual route; two names over the same scheme share plans.
@@ -446,9 +525,21 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 		}
 	}
 	key := e.fingerprint + "#" + resolved.String()
+	var pcSpan *obs.Span
+	if trace != nil {
+		pcSpan = trace.Root.Child(obs.KindPlanCache, "plan cache lookup")
+	}
 	plan, hit, err := s.cache.GetOrCompute(key, func() (*engine.Plan, error) {
 		return engine.PlanFor(e.db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget})
 	})
+	if pcSpan != nil {
+		if hit {
+			pcSpan.Note("hit: %s", key)
+		} else {
+			pcSpan.Note("miss: derived plan for %s", key)
+		}
+		pcSpan.End()
+	}
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
@@ -477,6 +568,68 @@ func (s *Service) Query(ctx context.Context, req Request) (*engine.Report, error
 	rep.QueueWait = wait
 	s.succeeded.Add(1)
 	return rep, nil
+}
+
+// finish closes out one query: the Prometheus counters and latency
+// histogram always; then, when tracing was on, the root span is ended, the
+// trace is handed to the Tracer, and the slow-query log captures the query
+// if its wall time met the threshold.
+func (s *Service) finish(trace *obs.Trace, req Request, rep *engine.Report, err error, start time.Time) {
+	wall := time.Since(start)
+	status := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		status = "rejected"
+	case errors.Is(err, govern.ErrTupleBudget), errors.Is(err, govern.ErrDeadline), errors.Is(err, govern.ErrCanceled):
+		status = "aborted"
+	default:
+		status = "failed"
+	}
+	strategy := strategyName(req.Strategy)
+	if rep != nil {
+		strategy = rep.Strategy.String()
+	}
+	s.metrics.queries.Inc(strategy, status)
+	s.metrics.duration.Observe(wall.Seconds())
+	if rep != nil {
+		s.metrics.tuples.Add(rep.Produced)
+	}
+	if trace == nil {
+		return
+	}
+	if rep != nil {
+		rep.TraceID = trace.ID
+	}
+	if err != nil {
+		trace.Root.Note("%s: %v", status, err)
+	}
+	trace.Root.End()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.FinishQuery(trace)
+	}
+	if s.slowLog != nil {
+		entry := obs.SlowEntry{
+			TraceID:  trace.ID,
+			Database: req.Database,
+			Strategy: strategy,
+			Status:   status,
+			Start:    start,
+			WallMS:   float64(wall) / float64(time.Millisecond),
+			Trace:    trace.Root.JSON(),
+		}
+		if err != nil {
+			entry.Error = err.Error()
+		}
+		if rep != nil {
+			entry.QueueWaitMS = float64(rep.QueueWait) / float64(time.Millisecond)
+			entry.Cost = rep.Cost
+			entry.Produced = rep.Produced
+		}
+		if s.slowLog.Record(entry) {
+			s.metrics.slow.Inc()
+		}
+	}
 }
 
 // strategyName maps the empty request strategy to auto.

@@ -1,6 +1,8 @@
 package wcoj
 
 import (
+	"sync/atomic"
+
 	"repro/internal/govern"
 	"repro/internal/relation"
 )
@@ -13,6 +15,10 @@ type executor struct {
 	order []string
 	byVar [][]int // byVar[v] = indexes of the relations containing order[v]
 	iters []*trieIter
+	// bindings counts the values bound per variable during enumeration —
+	// the per-variable leapfrog work a trace reports. nil when untraced;
+	// shared across the parallel workers (hence atomic).
+	bindings []atomic.Int64
 }
 
 // newExecutor builds fresh iterators over the shared tries.
@@ -62,6 +68,9 @@ func (ex *executor) run(v int, binding []relation.Value, scope *govern.OpScope, 
 			return err
 		}
 		binding[v] = lf.key()
+		if ex.bindings != nil {
+			ex.bindings[v].Add(1)
+		}
 		if err := ex.run(v+1, binding, scope, emit); err != nil {
 			return err
 		}
@@ -70,9 +79,11 @@ func (ex *executor) run(v int, binding []relation.Value, scope *govern.OpScope, 
 }
 
 // enumerate runs the full sequential join, charging each output tuple.
-func enumerate(order []string, tries []*trieIndex, scope *govern.OpScope) (*relation.Relation, error) {
+// bindings, when non-nil, receives the per-variable binding counts.
+func enumerate(order []string, tries []*trieIndex, scope *govern.OpScope, bindings []atomic.Int64) (*relation.Relation, error) {
 	out := relation.New(relation.MustSchema(order...))
 	ex := newExecutor(order, tries)
+	ex.bindings = bindings
 	emit := func(binding []relation.Value) error {
 		if err := scope.Add(1); err != nil {
 			return err

@@ -2,6 +2,7 @@ package wcoj
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/govern"
 	"repro/internal/relation"
@@ -15,7 +16,7 @@ import (
 // atomic), so budgets and the charged totals are identical to the
 // sequential run; the chunks bind disjoint outermost keys, so the merged
 // outputs are disjoint too.
-func enumerateParallel(order []string, tries []*trieIndex, scope *govern.OpScope, workers int) (*relation.Relation, error) {
+func enumerateParallel(order []string, tries []*trieIndex, scope *govern.OpScope, workers int, bindings []atomic.Int64) (*relation.Relation, error) {
 	keys, err := topKeys(order, tries, scope)
 	if err != nil {
 		return nil, err
@@ -28,7 +29,7 @@ func enumerateParallel(order []string, tries []*trieIndex, scope *govern.OpScope
 		return out, nil
 	}
 	if workers < 2 {
-		res, err := enumerate(order, tries, scope)
+		res, err := enumerate(order, tries, scope, bindings)
 		if err != nil {
 			return nil, err
 		}
@@ -44,7 +45,7 @@ func enumerateParallel(order []string, tries []*trieIndex, scope *govern.OpScope
 		wg.Add(1)
 		go func(w int, chunk []relation.Value) {
 			defer wg.Done()
-			parts[w], errs[w] = runKeys(order, tries, chunk, scope)
+			parts[w], errs[w] = runKeys(order, tries, chunk, scope, bindings)
 		}(w, chunk)
 	}
 	wg.Wait()
@@ -82,9 +83,11 @@ func topKeys(order []string, tries []*trieIndex, scope *govern.OpScope) ([]relat
 }
 
 // runKeys enumerates the full bindings whose outermost value lies in the
-// given ascending key chunk, collecting output tuples locally.
-func runKeys(order []string, tries []*trieIndex, chunk []relation.Value, scope *govern.OpScope) ([]relation.Tuple, error) {
+// given ascending key chunk, collecting output tuples locally. bindings,
+// when non-nil, receives this worker's share of the per-variable counts.
+func runKeys(order []string, tries []*trieIndex, chunk []relation.Value, scope *govern.OpScope, bindings []atomic.Int64) ([]relation.Tuple, error) {
 	ex := newExecutor(order, tries)
+	ex.bindings = bindings
 	rels := ex.byVar[0]
 	for _, r := range rels {
 		ex.iters[r].open()
@@ -108,6 +111,9 @@ func runKeys(order []string, tries []*trieIndex, chunk []relation.Value, scope *
 			ex.iters[r].seek(key)
 		}
 		binding[0] = key
+		if bindings != nil {
+			bindings[0].Add(1)
+		}
 		if err := ex.run(1, binding, scope, emit); err != nil {
 			return nil, err
 		}

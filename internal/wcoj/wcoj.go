@@ -34,8 +34,10 @@ package wcoj
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/govern"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -82,14 +84,23 @@ func JoinGoverned(db *relation.Database, order []string, gov *govern.Governor, w
 	tries := make([]*trieIndex, db.Len())
 	var trieTuples int64
 	for i := 0; i < db.Len(); i++ {
+		var sp *obs.Span
+		if parent := gov.Span(); parent != nil {
+			sp = parent.Child(obs.KindTrie, "trie "+db.Relation(i).Schema().String())
+		}
 		scope, err := gov.Begin("wcoj.trie")
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		tr, err := buildTrie(db.Relation(i), order, scope)
 		if err != nil {
+			sp.Note("failed: %v", err)
+			sp.End()
 			return nil, err
 		}
+		sp.AddTuples(int64(len(tr.rows)))
+		sp.End()
 		tries[i] = tr
 		trieTuples += int64(len(tr.rows))
 	}
@@ -100,11 +111,34 @@ func JoinGoverned(db *relation.Database, order []string, gov *govern.Governor, w
 	if workers < 2 {
 		workers = 1
 	}
+	// When traced, enumeration runs under its own span with one binding
+	// counter per variable — the per-variable leapfrog work — rendered as
+	// KindVar children. The counters are atomic because parallel enumeration
+	// charges them from every worker.
+	var enumSpan *obs.Span
+	var bindings []atomic.Int64
+	if parent := gov.Span(); parent != nil {
+		enumSpan = parent.Child(obs.KindEnumerate, "leapfrog enumeration")
+		bindings = make([]atomic.Int64, len(order))
+	}
+	before := gov.Produced()
 	var out *relation.Relation
 	if workers == 1 {
-		out, err = enumerate(order, tries, scope)
+		out, err = enumerate(order, tries, scope, bindings)
 	} else {
-		out, err = enumerateParallel(order, tries, scope, workers)
+		out, err = enumerateParallel(order, tries, scope, workers, bindings)
+	}
+	if enumSpan != nil {
+		enumSpan.AddTuples(gov.Produced() - before)
+		for v, name := range order {
+			vs := enumSpan.Child(obs.KindVar, "var "+name)
+			vs.Note("%d bindings examined", bindings[v].Load())
+			vs.End()
+		}
+		if err != nil {
+			enumSpan.Note("failed: %v", err)
+		}
+		enumSpan.End()
 	}
 	if err != nil {
 		return nil, err

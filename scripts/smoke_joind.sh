@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test for joind: build it, start it, register the triangle example
-# database, run one query, and assert a 200 with a nonempty result. CI runs
-# this after the unit tests; it is also handy locally:
+# database, run one query, and assert a 200 with a nonempty result — then
+# scrape /metrics and /v1/slow and assert the observability surface
+# recorded the queries. CI runs this after the unit tests; it is also
+# handy locally:
 #
 #   ./scripts/smoke_joind.sh
 set -euo pipefail
@@ -11,7 +13,7 @@ ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
 
 go build -o /tmp/joind ./cmd/joind
-/tmp/joind -addr "$ADDR" -workers 2 -global-max-tuples 100000 &
+/tmp/joind -addr "$ADDR" -workers 2 -global-max-tuples 100000 -slow-threshold 1ns &
 JOIND_PID=$!
 trap 'kill "$JOIND_PID" 2>/dev/null || true' EXIT
 
@@ -68,4 +70,59 @@ curl -fsS "$BASE/v1/stats" | grep -q '"hits":1' || {
     exit 1
 }
 
-echo "joind smoke: OK (register 201, two 200 queries, second was a cache hit)"
+# With the slow log enabled, query responses carry trace IDs.
+grep -q '"trace_id":"' /tmp/joind_query1.json || {
+    echo "query response has no trace_id despite -slow-threshold:" >&2
+    cat /tmp/joind_query1.json >&2
+    exit 1
+}
+
+# /metrics must serve valid Prometheus text with the core series moved by
+# the two queries above.
+curl -fsS "$BASE/metrics" >/tmp/joind_metrics.txt
+for series in \
+    'joind_queries_total{strategy="program",status="ok"} 2' \
+    'joind_query_duration_seconds_count 2' \
+    'joind_queue_wait_seconds_count 2' \
+    'joind_plan_cache_hits_total 1' \
+    'joind_plan_cache_misses_total 1' \
+    'joind_registered_databases 1' \
+    'joind_slow_queries_total 2' \
+    'joind_tuples_produced_total' \
+    'joind_worker_utilization' \
+    'joind_tuple_budget_remaining'; do
+    grep -qF "$series" /tmp/joind_metrics.txt || {
+        echo "metrics: missing expected series/sample: $series" >&2
+        cat /tmp/joind_metrics.txt >&2
+        exit 1
+    }
+done
+# Every non-comment line must be exactly "name{labels} value".
+if awk '!/^#/ && NF != 2 { bad = 1 } END { exit bad }' /tmp/joind_metrics.txt; then
+    :
+else
+    echo "metrics: malformed exposition line" >&2
+    cat /tmp/joind_metrics.txt >&2
+    exit 1
+fi
+
+# /v1/slow must have captured both queries (1ns threshold = everything),
+# with embedded span trees.
+curl -fsS "$BASE/v1/slow" >/tmp/joind_slow.json
+grep -q '"enabled":true' /tmp/joind_slow.json || {
+    echo "/v1/slow reports the log disabled" >&2
+    cat /tmp/joind_slow.json >&2
+    exit 1
+}
+grep -q '"recorded":2' /tmp/joind_slow.json || {
+    echo "/v1/slow did not capture both queries:" >&2
+    cat /tmp/joind_slow.json >&2
+    exit 1
+}
+grep -q '"kind":"query"' /tmp/joind_slow.json || {
+    echo "/v1/slow entries have no span trees:" >&2
+    cat /tmp/joind_slow.json >&2
+    exit 1
+}
+
+echo "joind smoke: OK (register 201, two 200 queries, cache hit, metrics + slow log recorded)"
