@@ -2,7 +2,10 @@
 // registered databases, caches derived plans per scheme fingerprint (the
 // paper's Theorems 1–2 make one plan per scheme correct and quasi-optimal
 // for every instance), and serves joins over HTTP/JSON with admission
-// control and a global tuple budget.
+// control and a global tuple budget. With -data-dir set, the catalog is
+// durable: registrations and batched ingests are write-ahead logged and
+// snapshot-checkpointed, and a restart replays the log before the daemon
+// reports ready (see docs/STORAGE.md).
 //
 // Usage:
 //
@@ -11,21 +14,28 @@
 //	      [-default-timeout d] [-search-budget n] [-query-workers n]
 //	      [-worker-budget n] [-slow-threshold d] [-slow-log n]
 //	      [-preload name=r1.tsv,r2.tsv,...]
+//	      [-data-dir dir] [-fsync always|interval|never]
+//	      [-fsync-interval 100ms] [-checkpoint-every n]
 //
 // API (see docs/SERVICE.md for the full reference and a worked session,
-// and docs/OBSERVABILITY.md for the metrics and slow-query log):
+// docs/OBSERVABILITY.md for the metrics and slow-query log, and
+// docs/STORAGE.md for durability semantics):
 //
-//	POST /v1/databases  register a named database
+//	POST /v1/databases  register a named database (durable with -data-dir)
 //	GET  /v1/databases  list the catalog
 //	POST /v1/query      join a registered database
-//	GET  /v1/stats      service + plan-cache counters
+//	POST /v1/ingest     apply batched inserts/deletes durably
+//	GET  /v1/stats      service + plan-cache + store counters
 //	GET  /v1/slow       slow-query log with span-tree drill-down
 //	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       liveness
+//	GET  /livez         liveness (200 as soon as HTTP is up)
+//	GET  /readyz        readiness (503 "recovering" until WAL replay finishes)
+//	GET  /healthz       readiness-gated health (same as /readyz)
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections and waits briefly for in-flight queries (whose governors see
-// their request contexts cancel when the drain deadline passes).
+// The daemon shuts down gracefully on SIGINT/SIGTERM: readiness flips off,
+// the HTTP server stops accepting connections and drains in-flight requests,
+// then in-flight queries finish and the store flushes its WALs and writes a
+// final checkpoint, so the next start replays nothing.
 package main
 
 import (
@@ -41,8 +51,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/engine/failpoint"
 	"repro/internal/relation"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -61,7 +73,17 @@ func main() {
 	slowLogSize := flag.Int("slow-log", 0, "slow-query log capacity in entries (0 = default)")
 	preload := flag.String("preload", "", "semicolon-separated name=r1.tsv,r2.tsv,... databases to register at startup")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	dataDir := flag.String("data-dir", "", "durable store directory: WAL-backed ingest, snapshot recovery (empty = in-memory only, ingest disabled)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always (durable per batch), interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "WAL fsync cadence under -fsync interval (0 = 100ms)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "WAL records per database before an automatic snapshot checkpoint (0 = default 1024, negative = manual only)")
 	flag.Parse()
+
+	// Crash/fault injection for the recovery harness and smoke tests; unset
+	// in normal operation.
+	if err := failpoint.EnableFromEnv("JOIND_FAILPOINTS"); err != nil {
+		log.Fatal(err)
+	}
 
 	svc := service.New(service.Config{
 		Workers:            *workers,
@@ -77,12 +99,10 @@ func main() {
 		SlowQueryThreshold: *slowThreshold,
 		SlowLogSize:        *slowLogSize,
 	})
-	if *preload != "" {
-		if err := preloadDatabases(svc, *preload); err != nil {
-			log.Fatal(err)
-		}
-	}
 
+	// Serve HTTP immediately (liveness), but hold readiness until the store
+	// has replayed its snapshot + WAL tail and the preloads are registered.
+	svc.SetReady(false)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -96,27 +116,93 @@ func main() {
 		errCh <- srv.ListenAndServe()
 	}()
 
+	readyCh := make(chan error, 1)
+	go func() {
+		readyCh <- startCatalog(svc, *dataDir, *fsyncPolicy, *fsyncInterval, *checkpointEvery, *preload)
+	}()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		log.Fatal(err)
-	case s := <-sig:
-		log.Printf("joind: %v; draining for up to %s", s, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	for {
+		select {
+		case err := <-errCh:
 			log.Fatal(err)
+		case err := <-readyCh:
+			if err != nil {
+				log.Fatal(err)
+			}
+			svc.SetReady(true)
+			log.Printf("joind: ready")
+		case s := <-sig:
+			log.Printf("joind: %v; draining for up to %s", s, *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			// Stop accepting connections and drain in-flight HTTP first,
+			// then drain queries and close the store (final checkpoint).
+			if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				cancel()
+				log.Fatal(err)
+			}
+			if err := svc.Close(ctx); err != nil {
+				cancel()
+				log.Fatal(err)
+			}
+			cancel()
+			log.Printf("joind: clean shutdown")
+			return
 		}
 	}
 }
 
-// preloadDatabases registers semicolon-separated name=file,file,... specs.
+// startCatalog opens the durable store (when configured), recovers its
+// databases into the service, and registers the -preload specs. With a store
+// attached, preloaded names that already exist in the recovered catalog are
+// skipped — the durable copy, which may contain later ingests, wins.
+func startCatalog(svc *service.Service, dataDir, fsyncPolicy string, fsyncInterval time.Duration, checkpointEvery int, preload string) error {
+	if dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		st, err := store.Open(dataDir, store.Options{
+			Fsync:           policy,
+			FsyncInterval:   fsyncInterval,
+			CheckpointEvery: checkpointEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("joind: open store %s: %w", dataDir, err)
+		}
+		if err := svc.AttachStore(st); err != nil {
+			return err
+		}
+		stats := st.Stats()
+		log.Printf("joind: store %s recovered in %s (%d databases, %d WAL records replayed, %d torn bytes dropped, fsync=%s)",
+			dataDir, time.Since(start).Round(time.Millisecond), stats.Databases,
+			stats.ReplayedRecords, stats.TornTailBytes, policy)
+	}
+	if preload != "" {
+		if err := preloadDatabases(svc, preload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// preloadDatabases registers semicolon-separated name=file,file,... specs,
+// skipping names already recovered from the durable store.
 func preloadDatabases(svc *service.Service, specs string) error {
+	existing := make(map[string]bool)
+	for _, info := range svc.Databases() {
+		existing[info.Name] = true
+	}
 	for _, spec := range strings.Split(specs, ";") {
 		name, files, ok := strings.Cut(strings.TrimSpace(spec), "=")
 		if !ok {
 			return fmt.Errorf("joind: -preload entry %q is not name=files", spec)
+		}
+		if existing[name] {
+			log.Printf("joind: preload %q skipped (already in recovered catalog)", name)
+			continue
 		}
 		var rels []*relation.Relation
 		for _, path := range strings.Split(files, ",") {

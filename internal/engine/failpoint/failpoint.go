@@ -6,6 +6,18 @@
 // unwinds cleanly, returns the typed error, and never leaks a partial
 // result.
 //
+// Beyond error injection, the package supports crash-point injection for
+// process-level recovery tests: a point armed with an *ExitError payload
+// (EnableExit, or an "exit:N" spec in EnableFromEnv) asks the site to
+// terminate the process abruptly — no deferred cleanup, no flushes — via
+// ExitIf. Sites that own buffered state (the WAL in internal/store) pair
+// this with torn-write injection: on a fired point they first perform a
+// deliberately partial side effect, then call ExitIf, so a crash harness
+// can leave a half-written record behind exactly as a power cut would.
+// EnableFromEnv arms points from an environment variable, which is how a
+// child process under a crash harness (or a joind under JOIND_FAILPOINTS)
+// gets its kill points without a code path to its registry.
+//
 // The registry is process-global and mutex-guarded; tests that enable
 // failpoints must Reset (or Disable) them when done and must not run in
 // parallel with other failpoint users.
@@ -13,13 +25,57 @@ package failpoint
 
 import (
 	"errors"
+	"fmt"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
 // ErrInjected is the default error an armed failpoint returns; tests can
 // match it with errors.Is.
 var ErrInjected = errors.New("failpoint: injected fault")
+
+// ExitError is a crash-point payload: a site that receives it from Check is
+// expected to finish any deliberately partial side effect (a torn write)
+// and then call ExitIf, which terminates the process with Code — no
+// deferred cleanup, simulating a kill -9 or power cut at that exact point.
+// It still behaves as an ordinary error (matching ErrInjected) for sites
+// that propagate instead of exiting, so an "exit" arming in a process that
+// never reaches ExitIf degrades to error injection rather than a hang.
+type ExitError struct {
+	// Code is the process exit status (crash harnesses assert on it to
+	// distinguish an injected crash from an ordinary failure).
+	Code int
+}
+
+// Error implements error.
+func (e *ExitError) Error() string {
+	return fmt.Sprintf("failpoint: injected crash (exit %d)", e.Code)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold for crash payloads.
+func (e *ExitError) Unwrap() error { return ErrInjected }
+
+// exit is swapped out by tests that must not kill the test process.
+var exit = os.Exit
+
+// ExitIf terminates the process with err's exit code when err is an
+// *ExitError (directly or wrapped); otherwise it is a no-op. Sites place it
+// between their torn side effect and their normal error return:
+//
+//	if err := failpoint.Check("store.wal.torn"); err != nil {
+//		f.Write(buf[:n/2]) // the torn write
+//		failpoint.ExitIf(err)
+//		return err         // in-process tests take this path
+//	}
+func ExitIf(err error) {
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		exit(ee.Code)
+	}
+}
 
 type point struct {
 	remaining int64
@@ -52,6 +108,64 @@ func EnableFunc(name string, nth int64, fn func() error) {
 	mu.Lock()
 	defer mu.Unlock()
 	points[name] = &point{remaining: nth, fn: fn}
+}
+
+// EnableExit arms name as a crash point: on the nth Check the site receives
+// an *ExitError and (via ExitIf) terminates the process with code.
+func EnableExit(name string, nth int64, code int) {
+	Enable(name, nth, &ExitError{Code: code})
+}
+
+// EnableFromEnv arms failpoints from the named environment variable, which
+// holds a semicolon-separated list of specs:
+//
+//	point@nth=error        fire ErrInjected on the nth Check
+//	point@nth=exit:code    fire an *ExitError{code} (crash point)
+//
+// "@nth" may be omitted (defaults to 1). An unset or empty variable arms
+// nothing and returns nil; a malformed spec returns an error naming it.
+// cmd/joind calls this with JOIND_FAILPOINTS at startup, and the store's
+// crash harness uses it to arm kill points in its child processes.
+func EnableFromEnv(envVar string) error {
+	raw := os.Getenv(envVar)
+	if raw == "" {
+		return nil
+	}
+	for _, spec := range strings.Split(raw, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		lhs, action, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: %s spec %q is not point[@nth]=action", envVar, spec)
+		}
+		name := lhs
+		nth := int64(1)
+		if point, n, hasNth := strings.Cut(lhs, "@"); hasNth {
+			v, err := strconv.ParseInt(n, 10, 64)
+			if err != nil || v < 1 {
+				return fmt.Errorf("failpoint: %s spec %q has bad nth %q", envVar, spec, n)
+			}
+			name, nth = point, v
+		}
+		if name == "" {
+			return fmt.Errorf("failpoint: %s spec %q has an empty point name", envVar, spec)
+		}
+		switch {
+		case action == "error":
+			Enable(name, nth, nil)
+		case strings.HasPrefix(action, "exit:"):
+			code, err := strconv.Atoi(strings.TrimPrefix(action, "exit:"))
+			if err != nil || code < 0 {
+				return fmt.Errorf("failpoint: %s spec %q has bad exit code", envVar, spec)
+			}
+			EnableExit(name, nth, code)
+		default:
+			return fmt.Errorf("failpoint: %s spec %q has unknown action %q", envVar, spec, action)
+		}
+	}
+	return nil
 }
 
 // Disable removes the named failpoint.

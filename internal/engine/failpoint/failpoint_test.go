@@ -2,6 +2,8 @@ package failpoint
 
 import (
 	"errors"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 )
@@ -64,6 +66,77 @@ func TestDisableAndActive(t *testing.T) {
 func TestUnarmedCheckIsNil(t *testing.T) {
 	if err := Check("nothing-here"); err != nil {
 		t.Fatalf("unarmed check: %v", err)
+	}
+}
+
+func TestExitErrorMatchesInjected(t *testing.T) {
+	defer Reset()
+	EnableExit("op", 1, 7)
+	err := Check("op")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash payload should match ErrInjected, got %v", err)
+	}
+	var ee *ExitError
+	if !errors.As(err, &ee) || ee.Code != 7 {
+		t.Fatalf("got %v, want *ExitError{Code: 7}", err)
+	}
+}
+
+func TestExitIf(t *testing.T) {
+	defer func() { exit = os.Exit }()
+	var code = -1
+	exit = func(c int) { code = c }
+	ExitIf(nil)
+	ExitIf(errors.New("plain"))
+	if code != -1 {
+		t.Fatalf("ExitIf exited on a non-crash error (code %d)", code)
+	}
+	ExitIf(&ExitError{Code: 3})
+	if code != 3 {
+		t.Fatalf("ExitIf(&ExitError{3}): exit code = %d, want 3", code)
+	}
+	code = -1
+	ExitIf(fmt.Errorf("wal append: %w", &ExitError{Code: 5}))
+	if code != 5 {
+		t.Fatalf("wrapped ExitError: exit code = %d, want 5", code)
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	defer Reset()
+	const env = "FAILPOINT_TEST_SPEC"
+	t.Setenv(env, "a@2=error; b=exit:4 ;c@3=error")
+	if err := EnableFromEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := Active(); len(got) != 3 {
+		t.Fatalf("Active = %v, want a, b, c", got)
+	}
+	if err := Check("a"); err != nil {
+		t.Fatalf("a fired on first check: %v", err)
+	}
+	if err := Check("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a second check: %v", err)
+	}
+	var ee *ExitError
+	if err := Check("b"); !errors.As(err, &ee) || ee.Code != 4 {
+		t.Fatalf("b: got %v, want *ExitError{4}", err)
+	}
+	Reset()
+
+	// Unset or empty arms nothing.
+	t.Setenv(env, "")
+	if err := EnableFromEnv(env); err != nil || len(Active()) != 0 {
+		t.Fatalf("empty spec: err=%v active=%v", err, Active())
+	}
+
+	// Malformed specs are named errors.
+	for _, bad := range []string{"justaname", "a@zero=error", "a@0=error", "=error", "a=exit:x", "a=explode"} {
+		t.Setenv(env, bad)
+		if err := EnableFromEnv(env); err == nil {
+			t.Errorf("spec %q: want error, got nil", bad)
+		}
+		Reset()
 	}
 }
 

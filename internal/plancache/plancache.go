@@ -36,6 +36,9 @@ type Stats struct {
 	// Coalesced counts GetOrCompute calls that waited on another caller's
 	// in-flight computation instead of running their own (a subset of Hits).
 	Coalesced int64 `json:"coalesced"`
+	// Invalidations counts entries dropped by InvalidatePrefix — plans
+	// discarded because their database changed, not for capacity.
+	Invalidations int64 `json:"invalidations"`
 	// Len and Capacity describe current occupancy.
 	Len      int `json:"len"`
 	Capacity int `json:"capacity"`
@@ -50,7 +53,7 @@ type Cache struct {
 	items    map[string]*list.Element // key -> element whose Value is *entry
 	inflight map[string]*flight
 
-	hits, misses, evictions, coalesced int64
+	hits, misses, evictions, coalesced, invalidations int64
 }
 
 type entry struct {
@@ -155,6 +158,31 @@ func (c *Cache) GetOrCompute(key string, compute func() (*engine.Plan, error)) (
 	return f.plan, false, f.err
 }
 
+// InvalidatePrefix drops every cached plan whose key starts with prefix and
+// returns the number dropped. The service keys plans as
+// "fingerprint#strategy", so invalidating the fingerprint prefix removes all
+// strategies' plans for one database after an ingest mutates it — plans are
+// instance-dependent (optimizer search reads cardinalities), so they cannot
+// outlive the catalog version they were derived from. In-flight computations
+// for matching keys are left to finish; their results are cached and will be
+// invalidated by the next ingest, which is harmless: a plan derived from
+// either catalog version is still correct for the scheme, only its cost
+// estimate is stale.
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	c.invalidations += int64(n)
+	return n
+}
+
 // Len returns the number of cached plans.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -167,11 +195,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Coalesced: c.coalesced,
-		Len:       c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Coalesced:     c.coalesced,
+		Invalidations: c.invalidations,
+		Len:           c.ll.Len(),
+		Capacity:      c.capacity,
 	}
 }

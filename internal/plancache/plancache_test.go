@@ -225,3 +225,61 @@ func TestDistinctStrategiesSameFingerprintDoNotCoalesce(t *testing.T) {
 		t.Error("wcoj plan lost or corrupted after evictions")
 	}
 }
+
+func TestInvalidatePrefix(t *testing.T) {
+	c := New(8)
+	c.Put("fpA#direct", plan("fpA"))
+	c.Put("fpA#program", plan("fpA"))
+	c.Put("fpB#direct", plan("fpB"))
+	c.Put("fpAB#direct", plan("fpAB")) // shares a prefix with fpA's keys but not "fpA#"
+
+	if n := c.InvalidatePrefix("fpA#"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	for _, gone := range []string{"fpA#direct", "fpA#program"} {
+		if _, ok := c.Get(gone); ok {
+			t.Errorf("%s survived invalidation", gone)
+		}
+	}
+	for _, kept := range []string{"fpB#direct", "fpAB#direct"} {
+		if _, ok := c.Get(kept); !ok {
+			t.Errorf("%s was wrongly invalidated", kept)
+		}
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 {
+		t.Errorf("Invalidations = %d, want 2", st.Invalidations)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0 (invalidation is not eviction)", st.Evictions)
+	}
+	if st.Len != 2 {
+		t.Errorf("Len = %d, want 2", st.Len)
+	}
+	if n := c.InvalidatePrefix("nope"); n != 0 {
+		t.Errorf("invalidated %d entries for an unknown prefix, want 0", n)
+	}
+}
+
+func TestInvalidatePrefixKeepsLRUConsistent(t *testing.T) {
+	c := New(3)
+	c.Put("x#1", plan("x"))
+	c.Put("y#1", plan("y"))
+	c.Put("x#2", plan("x"))
+	c.InvalidatePrefix("x#")
+	// The list and map must still agree: filling back to capacity and over
+	// evicts exactly once.
+	c.Put("z#1", plan("z"))
+	c.Put("z#2", plan("z"))
+	c.Put("z#3", plan("z"))
+	st := c.Stats()
+	if st.Len != 3 {
+		t.Fatalf("len = %d, want 3", st.Len)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if _, ok := c.Get("y#1"); ok {
+		t.Error("y#1 should have been evicted as the least recently used")
+	}
+}

@@ -1,0 +1,181 @@
+package relation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire format (the store's WAL records and snapshot files speak
+// this): each value is the same injective, self-delimiting encoding the
+// engine already uses for hashing and dedup keys (Value.appendKey) — a kind
+// byte, then an 8-byte big-endian integer or a 4-byte big-endian length and
+// the string bytes. A tuple is a uvarint arity followed by its values.
+// Exporting an encoder/decoder pair over that existing encoding means the
+// durable format and the in-memory hash keys can never drift apart.
+
+// ErrBinaryCorrupt is the sentinel wrapped by every binary-decode failure;
+// match with errors.Is. Decoders return it (never panic) on truncated
+// input, unknown kind bytes, or lengths that overrun the buffer.
+var ErrBinaryCorrupt = errors.New("relation: corrupt binary encoding")
+
+// MaxBinaryStringLen caps the declared length of an encoded string value; a
+// larger length is corruption, not data (it would exceed any real record).
+const MaxBinaryStringLen = 1 << 28 // 256 MiB
+
+// AppendValueBinary appends v's binary encoding to dst and returns the
+// extended slice. The encoding is self-delimiting: values concatenate
+// without separators and decode unambiguously.
+func AppendValueBinary(dst []byte, v Value) []byte {
+	return v.appendKey(dst)
+}
+
+// DecodeValueBinary decodes one value from the front of b, returning the
+// value and the number of bytes consumed. Errors wrap ErrBinaryCorrupt.
+func DecodeValueBinary(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("%w: empty input", ErrBinaryCorrupt)
+	}
+	switch b[0] {
+	case 'i':
+		if len(b) < 9 {
+			return Value{}, 0, fmt.Errorf("%w: truncated integer (%d of 9 bytes)", ErrBinaryCorrupt, len(b))
+		}
+		return Int(int64(binary.BigEndian.Uint64(b[1:9]))), 9, nil
+	case 's':
+		if len(b) < 5 {
+			return Value{}, 0, fmt.Errorf("%w: truncated string header (%d of 5 bytes)", ErrBinaryCorrupt, len(b))
+		}
+		n := binary.BigEndian.Uint32(b[1:5])
+		if n > MaxBinaryStringLen {
+			return Value{}, 0, fmt.Errorf("%w: string length %d exceeds limit", ErrBinaryCorrupt, n)
+		}
+		if uint64(len(b)) < 5+uint64(n) {
+			return Value{}, 0, fmt.Errorf("%w: string length %d overruns input (%d bytes left)", ErrBinaryCorrupt, n, len(b)-5)
+		}
+		return String(string(b[5 : 5+n])), 5 + int(n), nil
+	default:
+		return Value{}, 0, fmt.Errorf("%w: unknown value kind byte 0x%02x", ErrBinaryCorrupt, b[0])
+	}
+}
+
+// AppendTupleBinary appends t's binary encoding (uvarint arity, then each
+// value) to dst and returns the extended slice.
+func AppendTupleBinary(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = AppendValueBinary(dst, v)
+	}
+	return dst
+}
+
+// DecodeTupleBinary decodes one tuple from the front of b, returning the
+// tuple and the number of bytes consumed. Errors wrap ErrBinaryCorrupt.
+func DecodeTupleBinary(b []byte) (Tuple, int, error) {
+	arity, n, err := DecodeUvarint(b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: tuple arity: %v", ErrBinaryCorrupt, err)
+	}
+	// An arity that cannot fit in the remaining bytes (each value is at
+	// least 5 bytes) is corruption; reject before allocating.
+	if arity > uint64(len(b)-n) {
+		return nil, 0, fmt.Errorf("%w: tuple arity %d overruns input", ErrBinaryCorrupt, arity)
+	}
+	t := make(Tuple, 0, arity)
+	off := n
+	for i := uint64(0); i < arity; i++ {
+		v, vn, err := DecodeValueBinary(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("tuple value %d: %w", i, err)
+		}
+		t = append(t, v)
+		off += vn
+	}
+	return t, off, nil
+}
+
+// DecodeUvarint is binary.Uvarint with a typed error instead of the
+// sign-encoded count, so codec callers get uniform ErrBinaryCorrupt errors.
+func DecodeUvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad uvarint", ErrBinaryCorrupt)
+	}
+	return v, n, nil
+}
+
+// AppendRelationBinary appends r's binary encoding to dst: a uvarint
+// attribute count, each attribute name as a length-prefixed string, a
+// uvarint row count, then the rows (in deterministic sorted order, without
+// per-row arity — the schema fixes it).
+func AppendRelationBinary(dst []byte, r *Relation) []byte {
+	attrs := r.Schema().Attrs()
+	dst = binary.AppendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
+		dst = binary.AppendUvarint(dst, uint64(len(a)))
+		dst = append(dst, a...)
+	}
+	rows := r.SortedRows()
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, t := range rows {
+		for _, v := range t {
+			dst = AppendValueBinary(dst, v)
+		}
+	}
+	return dst
+}
+
+// DecodeRelationBinary decodes one relation from the front of b, returning
+// it and the number of bytes consumed. Errors wrap ErrBinaryCorrupt (for
+// malformed bytes) or report an invalid schema (for well-formed bytes that
+// name a bad scheme, e.g. duplicate attributes).
+func DecodeRelationBinary(b []byte) (*Relation, int, error) {
+	nattrs, off, err := DecodeUvarint(b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("relation header: %w", err)
+	}
+	if nattrs == 0 || nattrs > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("%w: attribute count %d", ErrBinaryCorrupt, nattrs)
+	}
+	attrs := make([]string, nattrs)
+	for i := range attrs {
+		n, un, err := DecodeUvarint(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("attribute %d: %w", i, err)
+		}
+		off += un
+		if n > uint64(len(b)-off) {
+			return nil, 0, fmt.Errorf("%w: attribute %d length %d overruns input", ErrBinaryCorrupt, i, n)
+		}
+		attrs[i] = string(b[off : off+int(n)])
+		off += int(n)
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, 0, err
+	}
+	nrows, un, err := DecodeUvarint(b[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("row count: %w", err)
+	}
+	off += un
+	// Every value encodes to ≥ 5 bytes, so a row count the remaining bytes
+	// cannot possibly hold is corruption; reject before decoding.
+	if nrows > uint64(len(b)-off) {
+		return nil, 0, fmt.Errorf("%w: row count %d overruns input", ErrBinaryCorrupt, nrows)
+	}
+	out := New(schema)
+	for i := uint64(0); i < nrows; i++ {
+		row := make(Tuple, nattrs)
+		for j := range row {
+			v, vn, err := DecodeValueBinary(b[off:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("row %d value %d: %w", i, j, err)
+			}
+			row[j] = v
+			off += vn
+		}
+		out.MustInsert(row) // arity is correct by construction
+	}
+	return out, off, nil
+}

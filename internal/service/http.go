@@ -10,23 +10,28 @@ import (
 	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // HTTP/JSON API (served by cmd/joind):
 //
-//	POST /v1/databases  register a named database
+//	POST /v1/databases  register a named database (durable when a store is attached)
 //	GET  /v1/databases  list the catalog
 //	POST /v1/query      join a registered database
-//	GET  /v1/stats      service + plan-cache counters
+//	POST /v1/ingest     apply batched inserts/deletes durably (WAL-backed)
+//	GET  /v1/stats      service + plan-cache + store counters
 //	GET  /v1/slow       slow-query log (trace drill-down included)
 //	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       liveness
+//	GET  /livez         liveness: 200 as soon as the process serves HTTP
+//	GET  /readyz        readiness: 503 "recovering" until WAL replay finishes
+//	GET  /healthz       readiness-gated health (same behavior as /readyz)
 //
 // Admission rejections (queue full, queue timeout, global budget) are 429;
 // a query's own resource aborts are 422 (tuple budget) or 504 (deadline);
-// unknown databases are 404; duplicate registrations are 409. The request
-// context is propagated into the governor, so a dropped connection cancels
-// the query's execution.
+// unknown databases are 404; duplicate registrations are 409; ingest
+// against a service with no durable store is 403. The request context is
+// propagated into the governor, so a dropped connection cancels the query's
+// execution.
 
 // StatusClientClosedRequest is the nonstandard (nginx-convention) status
 // reported when the client went away mid-query.
@@ -87,7 +92,7 @@ type errorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure for scripting: "overloaded",
 	// "resource_limit", "deadline", "canceled", "not_found", "conflict",
-	// "bad_request", or "internal".
+	// "bad_request", "read_only", "unavailable", or "internal".
 	Kind string `json:"kind"`
 }
 
@@ -97,14 +102,31 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/databases", s.handleRegister)
 	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/slow", s.handleSlow)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Liveness is unconditional: the process is up and serving HTTP.
+	// Readiness (and the readiness-gated /healthz) answers 503 while the
+	// service recovers its WAL or drains for shutdown, so load balancers
+	// and scripts/smoke_joind.sh hold traffic until replay completes.
+	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /healthz", s.handleReady)
 	return mux
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +185,41 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Result, resp.ResultTruncated = truncate(rep.Result, req.MaxResultTuples)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestMutation is one relation's changes within POST /v1/ingest.
+type ingestMutation struct {
+	// Relation indexes the database's relations (registration order).
+	Relation int `json:"relation"`
+	// Inserts and Deletes are tuples in the same JSON shape as registration
+	// ([[1,"x"], ...]). Deletes apply before inserts.
+	Inserts []relation.Tuple `json:"inserts,omitempty"`
+	Deletes []relation.Tuple `json:"deletes,omitempty"`
+}
+
+// ingestRequest is the body of POST /v1/ingest. The whole batch is one WAL
+// record: it is applied atomically and acknowledged only once durable under
+// the store's fsync policy.
+type ingestRequest struct {
+	Database  string           `json:"database"`
+	Mutations []ingestMutation `json:"mutations"`
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	batch := make(store.Batch, len(req.Mutations))
+	for i, m := range req.Mutations {
+		batch[i] = store.Mutation{Relation: m.Relation, Inserts: m.Inserts, Deletes: m.Deletes}
+	}
+	res, err := s.Ingest(r.Context(), req.Database, batch)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +299,10 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, StatusClientClosedRequest, "canceled", err.Error())
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, "read_only", err.Error())
+	case errors.Is(err, ErrUnavailable):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // serviceMetrics is the service's Prometheus registry: the series behind
@@ -23,6 +24,11 @@ type serviceMetrics struct {
 	queueWait *obs.Histogram
 	// slow counts queries captured by the slow-query log.
 	slow *obs.Counter
+	// ingests partitions ingest batches by outcome ("ok", "rejected",
+	// "failed"); ingestDuration is the end-to-end ingest latency (WAL
+	// append + fsync + catalog swap), in seconds.
+	ingests        *obs.CounterVec
+	ingestDuration *obs.Histogram
 }
 
 // newServiceMetrics builds and registers the full series set against s.
@@ -41,6 +47,11 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Time admitted queries spent waiting for a worker slot.", nil),
 		slow: r.Counter("joind_slow_queries_total",
 			"Queries at or above the slow-query threshold (captured in the slow-query log)."),
+		ingests: r.CounterVec("joind_ingests_total",
+			"Ingest batches finished, by outcome (ok, rejected, failed).",
+			"status"),
+		ingestDuration: r.Histogram("joind_ingest_duration_seconds",
+			"End-to-end ingest latency: WAL append, fsync, and catalog swap.", nil),
 	}
 
 	r.GaugeFunc("joind_in_flight_queries",
@@ -112,6 +123,48 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	r.CounterFunc("joind_ladder_degradations_total",
 		"Cached-plan executions that blew their budget and re-ran the degradation ladder.",
 		func() float64 { return float64(s.degraded.Load()) })
+
+	r.CounterFunc("joind_plan_cache_invalidations_total",
+		"Plan-cache entries dropped because their database was mutated by ingest.",
+		func() float64 { return float64(s.cache.Stats().Invalidations) })
+
+	// Durable-store series. All zero until AttachStore; scrapes read the
+	// store's own atomics.
+	storeStats := func() store.Stats {
+		if st := s.store.Load(); st != nil {
+			return st.Stats()
+		}
+		return store.Stats{}
+	}
+	r.GaugeFunc("joind_store_attached",
+		"1 when a durable store is attached (joind -data-dir), else 0.",
+		func() float64 {
+			if s.store.Load() != nil {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("joind_wal_appends_total",
+		"Batch records appended to write-ahead logs.",
+		func() float64 { return float64(storeStats().WALAppends) })
+	r.CounterFunc("joind_wal_bytes_total",
+		"Bytes appended to write-ahead logs (framing included).",
+		func() float64 { return float64(storeStats().WALBytes) })
+	r.CounterFunc("joind_snapshot_writes_total",
+		"Snapshot files written by checkpoints (database creation included).",
+		func() float64 { return float64(storeStats().SnapshotWrites) })
+	r.CounterFunc("joind_snapshot_bytes_total",
+		"Bytes written to snapshot files.",
+		func() float64 { return float64(storeStats().SnapshotBytes) })
+	r.CounterFunc("joind_snapshot_checkpoints_total",
+		"Completed checkpoints (snapshot durable, WAL truncated).",
+		func() float64 { return float64(storeStats().Checkpoints) })
+	r.GaugeFunc("joind_recovery_replayed_records",
+		"WAL records replayed during this process's startup recovery.",
+		func() float64 { return float64(storeStats().ReplayedRecords) })
+	r.GaugeFunc("joind_recovery_torn_bytes",
+		"Torn-tail bytes discarded from WALs during startup recovery.",
+		func() float64 { return float64(storeStats().TornTailBytes) })
 
 	return m
 }

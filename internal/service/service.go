@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // Typed service errors; match with errors.Is. ErrQueueTimeout and
@@ -48,6 +49,12 @@ var (
 	// ErrBadRequest reports a malformed request (e.g. an unknown strategy
 	// name). Serve it as HTTP 400.
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrReadOnly reports an ingest against a service with no durable store
+	// attached (joind without -data-dir). Serve it as HTTP 403.
+	ErrReadOnly = errors.New("service: no durable store attached (read-only)")
+	// ErrUnavailable reports a request that arrived while the service is
+	// shutting down. Serve it as HTTP 503.
+	ErrUnavailable = errors.New("service: shutting down")
 )
 
 // Config sizes the service. The zero value gets sensible defaults from New.
@@ -144,11 +151,19 @@ type DatabaseInfo struct {
 }
 
 // catalogEntry is a registered database with its precomputed scheme facts.
+// The instance pointer is swapped atomically by Ingest (copy-on-write): a
+// query loads it once and keeps that consistent snapshot for its whole
+// execution, while the scheme facts (fingerprint, acyclicity) never change —
+// ingest mutates tuples, not schemes.
 type catalogEntry struct {
 	name        string
-	db          *relation.Database
+	db          atomic.Pointer[relation.Database]
 	fingerprint string
 	acyclic     bool
+
+	// ingestMu serializes the store append + catalog swap so the visible
+	// catalog never lags behind a later-acknowledged batch.
+	ingestMu sync.Mutex
 }
 
 // Request is one query against a registered database.
@@ -205,6 +220,13 @@ type Stats struct {
 	// (-1 when no global budget is configured).
 	GlobalTuplesRemaining int64           `json:"global_tuples_remaining"`
 	PlanCache             plancache.Stats `json:"plan_cache"`
+	// Ready reports whether the service is serving (false during recovery
+	// and shutdown; mirrors /readyz).
+	Ready bool `json:"ready"`
+	// Ingests counts acknowledged ingest batches.
+	Ingests int64 `json:"ingests"`
+	// Store is the durable-store snapshot, nil when no store is attached.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Service serves joins over a catalog of registered databases. Construct
@@ -219,13 +241,20 @@ type Service struct {
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
 
+	// store is the durable mutation path (nil = in-memory only; ingest is
+	// then refused with ErrReadOnly). Attached once via AttachStore.
+	store atomic.Pointer[store.Store]
+	// ready gates /healthz and /readyz: false while joind replays its WAL
+	// (and again during shutdown). In-process services start ready.
+	ready atomic.Bool
+
 	queued           atomic.Int64
 	inFlight         atomic.Int64
 	budgetRemaining  atomic.Int64 // meaningful only when cfg.GlobalMaxTuples > 0
 	workersRemaining atomic.Int64 // meaningful only when cfg.WorkerBudget > 0
 
 	queries, succeeded, rejected, aborted, failed, degraded atomic.Int64
-	workersDegraded                                         atomic.Int64
+	workersDegraded, ingests                                atomic.Int64
 }
 
 // New builds a service from cfg (zero fields get defaults).
@@ -239,6 +268,7 @@ func New(cfg Config) *Service {
 	}
 	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
 	s.workersRemaining.Store(cfg.WorkerBudget)
+	s.ready.Store(true)
 	if cfg.SlowQueryThreshold > 0 {
 		s.slowLog = obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize)
 	}
@@ -262,6 +292,10 @@ func (s *Service) Config() Config { return s.cfg }
 // deliberate non-feature: cached plans for the fingerprint stay valid
 // because plans depend only on the scheme, but silent replacement invites
 // confusion about which instance answered).
+//
+// With a store attached, the database is made durable first — its initial
+// snapshot is on disk before the name is visible to queries — and the
+// store's (stricter) name rules apply.
 func (s *Service) Register(name string, db *relation.Database) (DatabaseInfo, error) {
 	if name == "" {
 		return DatabaseInfo{}, fmt.Errorf("service: database name must be nonempty")
@@ -269,13 +303,23 @@ func (s *Service) Register(name string, db *relation.Database) (DatabaseInfo, er
 	if db == nil || db.Len() == 0 {
 		return DatabaseInfo{}, fmt.Errorf("service: database %q is empty", name)
 	}
+	if st := s.store.Load(); st != nil {
+		if err := st.Create(name, db); err != nil {
+			return DatabaseInfo{}, mapStoreError(err)
+		}
+	}
+	return s.register(name, db)
+}
+
+// register adds db to the in-memory catalog (no persistence).
+func (s *Service) register(name string, db *relation.Database) (DatabaseInfo, error) {
 	h := hypergraph.OfScheme(db)
 	e := &catalogEntry{
 		name:        name,
-		db:          db,
 		fingerprint: h.Fingerprint(),
 		acyclic:     h.Acyclic(),
 	}
+	e.db.Store(db)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.dbs[name]; dup {
@@ -285,12 +329,29 @@ func (s *Service) Register(name string, db *relation.Database) (DatabaseInfo, er
 	return s.info(e), nil
 }
 
+// mapStoreError translates store errors into the service's typed errors.
+func mapStoreError(err error) error {
+	switch {
+	case errors.Is(err, store.ErrExists):
+		return fmt.Errorf("%w: %v", ErrDuplicateDatabase, err)
+	case errors.Is(err, store.ErrUnknownDatabase):
+		return fmt.Errorf("%w: %v", ErrUnknownDatabase, err)
+	case errors.Is(err, store.ErrBadName), errors.Is(err, store.ErrBadBatch):
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	case errors.Is(err, store.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	default:
+		return err
+	}
+}
+
 // info renders a catalog entry.
 func (s *Service) info(e *catalogEntry) DatabaseInfo {
+	db := e.db.Load()
 	return DatabaseInfo{
 		Name:        e.name,
-		Relations:   e.db.Len(),
-		Tuples:      e.db.TotalTuples(),
+		Relations:   db.Len(),
+		Tuples:      db.TotalTuples(),
 		Fingerprint: e.fingerprint,
 		Acyclic:     e.acyclic,
 	}
@@ -459,6 +520,10 @@ func (s *Service) startTrace(database string) *obs.Trace {
 // trace spans (queue, plan cache; the engine hangs the rest off the root)
 // when trace is non-nil.
 func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Strategy, req Request, trace *obs.Trace) (*engine.Report, error) {
+	// One atomic load pins this query's catalog version: concurrent ingests
+	// swap the entry's pointer, but this query joins the exact instance it
+	// loaded here — never a half-applied batch.
+	db := e.db.Load()
 	var qspan *obs.Span
 	if trace != nil {
 		qspan = trace.Root.Child(obs.KindQueue, "admission queue")
@@ -530,7 +595,7 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 		pcSpan = trace.Root.Child(obs.KindPlanCache, "plan cache lookup")
 	}
 	plan, hit, err := s.cache.GetOrCompute(key, func() (*engine.Plan, error) {
-		return engine.PlanFor(e.db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget})
+		return engine.PlanFor(db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget})
 	})
 	if pcSpan != nil {
 		if hit {
@@ -545,13 +610,13 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 		return nil, err
 	}
 
-	rep, err := engine.ExecutePlan(e.db, plan, opts)
+	rep, err := engine.ExecutePlan(db, plan, opts)
 	if err != nil && strat == engine.StrategyAuto && errors.Is(err, govern.ErrTupleBudget) {
 		// The cached plan blew this query's budget; hand the query to the
 		// engine's governed degradation ladder, which tries cheaper
 		// machinery rung by rung with fresh per-attempt budgets.
 		s.degraded.Add(1)
-		rep, err = engine.Join(e.db, opts)
+		rep, err = engine.Join(db, opts)
 		if err == nil {
 			rep.Notes = append(rep.Notes, "plan cache: cached plan exceeded budget; re-ran degradation ladder")
 		}
@@ -653,7 +718,15 @@ func (s *Service) Stats() Stats {
 	if s.cfg.QueryWorkers > 1 && s.cfg.WorkerBudget > 0 {
 		workersRemaining = s.workersRemaining.Load()
 	}
+	var storeStats *store.Stats
+	if st := s.store.Load(); st != nil {
+		snap := st.Stats()
+		storeStats = &snap
+	}
 	return Stats{
+		Ready:                 s.ready.Load(),
+		Ingests:               s.ingests.Load(),
+		Store:                 storeStats,
 		Databases:             n,
 		Workers:               s.cfg.Workers,
 		InFlight:              s.inFlight.Load(),

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/relation"
+)
+
+// On-disk framing, shared by the WAL and the snapshot files:
+//
+//	file   = magic (8 bytes) record*
+//	record = length (4 bytes BE) crc32c(payload) (4 bytes BE) payload
+//
+// The CRC is Castagnoli (CRC32C), computed over the payload only; the
+// length is covered implicitly (a corrupted length either fails the size
+// cap, overruns the file — a truncated record — or misframes the payload
+// and fails the CRC). A WAL file holds one record per applied batch; a
+// snapshot file holds exactly one record containing the whole catalog.
+//
+// Every decode failure wraps ErrCorrupt with a specific sentinel, so the
+// fuzz target can assert "typed error, never a panic, never silent
+// acceptance", and replay can distinguish a torn tail from real damage.
+
+// Magic prefixes identifying the two file kinds (8 bytes each: name + format
+// version). Bump the version when the record payload encoding changes.
+const (
+	walMagic  = "JDWAL\x00\x00\x01"
+	snapMagic = "JDSNP\x00\x00\x01"
+)
+
+// MaxRecordSize caps a record's declared payload length; a larger length is
+// treated as corruption rather than an allocation request.
+const MaxRecordSize = 64 << 20 // 64 MiB
+
+// recordHeaderSize is the per-record framing overhead: 4-byte length +
+// 4-byte CRC32C.
+const recordHeaderSize = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed corruption errors; match with errors.Is. All wrap ErrCorrupt.
+var (
+	// ErrCorrupt is the sentinel wrapped by every decode failure.
+	ErrCorrupt = errors.New("store: corrupt data")
+	// ErrTruncated reports a record cut short — a torn final write, or a
+	// file truncated mid-record.
+	ErrTruncated = fmt.Errorf("%w: truncated record", ErrCorrupt)
+	// ErrChecksum reports a payload whose CRC32C does not match its header.
+	ErrChecksum = fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	// ErrTooLarge reports a record whose declared length exceeds
+	// MaxRecordSize.
+	ErrTooLarge = fmt.Errorf("%w: record length exceeds limit", ErrCorrupt)
+	// ErrBadMagic reports a file whose magic prefix is not the expected
+	// kind/version.
+	ErrBadMagic = fmt.Errorf("%w: bad file magic", ErrCorrupt)
+)
+
+// appendRecord frames payload (length, CRC32C, bytes) onto dst.
+func appendRecord(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// readRecord decodes one framed record from the front of b, returning the
+// payload and the total bytes consumed (header + payload). The payload
+// aliases b; callers that retain it must copy.
+func readRecord(b []byte) ([]byte, int, error) {
+	if len(b) < recordHeaderSize {
+		return nil, 0, fmt.Errorf("%w: %d of %d header bytes", ErrTruncated, len(b), recordHeaderSize)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxRecordSize {
+		return nil, 0, fmt.Errorf("%w: declared %d bytes", ErrTooLarge, n)
+	}
+	want := binary.BigEndian.Uint32(b[4:])
+	end := recordHeaderSize + int(n)
+	if len(b) < end {
+		return nil, 0, fmt.Errorf("%w: %d of %d payload bytes", ErrTruncated, len(b)-recordHeaderSize, n)
+	}
+	payload := b[recordHeaderSize:end]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, 0, fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, want)
+	}
+	return payload, end, nil
+}
+
+// readRecords decodes a stream of framed records from b (the bytes after a
+// file's magic). It returns the payloads of every intact record, the byte
+// offset just past the last intact record, and the error that stopped the
+// scan (nil when b was consumed exactly). WAL replay treats a stopping
+// error at the tail as a torn final write — everything before it is intact
+// by checksum — and truncates the file back to the returned offset.
+func readRecords(b []byte) (payloads [][]byte, offset int, err error) {
+	for offset < len(b) {
+		payload, n, err := readRecord(b[offset:])
+		if err != nil {
+			return payloads, offset, err
+		}
+		payloads = append(payloads, payload)
+		offset += n
+	}
+	return payloads, offset, nil
+}
+
+// Mutation is one relation's inserts and deletes within a batch. Deletes
+// apply before inserts, so a tuple named in both ends up present.
+type Mutation struct {
+	// Relation indexes the database scheme (relation.Database index order).
+	Relation int
+	// Inserts and Deletes are tuples over that relation's schema.
+	Inserts []relation.Tuple
+	Deletes []relation.Tuple
+}
+
+// Batch is one atomic group of mutations: it is logged as a single WAL
+// record and applied as a single copy-on-write catalog swap, so recovery
+// always lands on a batch boundary and readers never observe part of one.
+type Batch []Mutation
+
+// Tuples returns the total tuple count named by the batch (inserts plus
+// deletes); the admission layer uses it for sizing.
+func (b Batch) Tuples() int {
+	n := 0
+	for _, m := range b {
+		n += len(m.Inserts) + len(m.Deletes)
+	}
+	return n
+}
+
+// appendBatch encodes b onto dst: a uvarint mutation count, then per
+// mutation the relation index, the inserts, and the deletes (each a uvarint
+// count of length-prefixed tuples in the relation binary codec).
+func appendBatch(dst []byte, b Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	for _, m := range b {
+		dst = binary.AppendUvarint(dst, uint64(m.Relation))
+		dst = binary.AppendUvarint(dst, uint64(len(m.Inserts)))
+		for _, t := range m.Inserts {
+			dst = relation.AppendTupleBinary(dst, t)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.Deletes)))
+		for _, t := range m.Deletes {
+			dst = relation.AppendTupleBinary(dst, t)
+		}
+	}
+	return dst
+}
+
+// decodeBatch decodes a batch from payload, which must be consumed exactly
+// (a WAL record holds one batch and nothing else). Errors wrap ErrCorrupt.
+func decodeBatch(payload []byte) (Batch, error) {
+	nmut, off, err := relation.DecodeUvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: batch header: %v", ErrCorrupt, err)
+	}
+	if nmut > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: mutation count %d overruns record", ErrCorrupt, nmut)
+	}
+	batch := make(Batch, 0, nmut)
+	for i := uint64(0); i < nmut; i++ {
+		var m Mutation
+		rel, n, err := relation.DecodeUvarint(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: mutation %d relation index: %v", ErrCorrupt, i, err)
+		}
+		if rel > 1<<20 {
+			return nil, fmt.Errorf("%w: mutation %d relation index %d out of any plausible range", ErrCorrupt, i, rel)
+		}
+		m.Relation = int(rel)
+		off += n
+		if m.Inserts, off, err = decodeTuples(payload, off); err != nil {
+			return nil, fmt.Errorf("mutation %d inserts: %w", i, err)
+		}
+		if m.Deletes, off, err = decodeTuples(payload, off); err != nil {
+			return nil, fmt.Errorf("mutation %d deletes: %w", i, err)
+		}
+		batch = append(batch, m)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(payload)-off)
+	}
+	return batch, nil
+}
+
+// decodeTuples decodes a uvarint-counted tuple list from payload at off.
+func decodeTuples(payload []byte, off int) ([]relation.Tuple, int, error) {
+	n, un, err := relation.DecodeUvarint(payload[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: tuple count: %v", ErrCorrupt, err)
+	}
+	off += un
+	if n > uint64(len(payload)-off) {
+		return nil, 0, fmt.Errorf("%w: tuple count %d overruns record", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	out := make([]relation.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, tn, err := relation.DecodeTupleBinary(payload[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out = append(out, t)
+		off += tn
+	}
+	return out, off, nil
+}
+
+// appendDatabase encodes the catalog for a snapshot payload: a uvarint
+// relation count, then each relation in the relation binary codec.
+func appendDatabase(dst []byte, db *relation.Database) []byte {
+	dst = binary.AppendUvarint(dst, uint64(db.Len()))
+	for _, r := range db.Relations() {
+		dst = relation.AppendRelationBinary(dst, r)
+	}
+	return dst
+}
+
+// decodeDatabase decodes a snapshot payload, which must be consumed
+// exactly.
+func decodeDatabase(payload []byte) (*relation.Database, error) {
+	nrels, off, err := relation.DecodeUvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, err)
+	}
+	if nrels == 0 || nrels > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: snapshot relation count %d", ErrCorrupt, nrels)
+	}
+	rels := make([]*relation.Relation, 0, nrels)
+	for i := uint64(0); i < nrels; i++ {
+		r, n, err := relation.DecodeRelationBinary(payload[off:])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot relation %d: %w", i, err)
+		}
+		rels = append(rels, r)
+		off += n
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, len(payload)-off)
+	}
+	return relation.NewDatabase(rels...)
+}

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/engine/failpoint"
+	"repro/internal/relation"
+)
+
+// Crash-recovery harness. TestCrashRecovery re-executes this test binary as a
+// child process (TestCrashChild below) that applies one deterministic batch
+// with a crash failpoint armed via STORE_CRASH_FAILPOINTS, so the child dies
+// with os.Exit at a precise point in the durability pipeline — mid-append,
+// mid-torn-write, pre-fsync, pre-swap, mid-snapshot, pre-truncate. The parent
+// then reopens the data directory in-process and asserts the recovered
+// catalog equals exactly the pre-batch or the post-batch state (full
+// relation-by-relation diff): never a torn half-batch, never silent loss of
+// an already-durable one.
+
+const crashExitCode = 7
+
+// crashPoint describes one kill site and which recovered states are legal.
+type crashPoint struct {
+	spec string // failpoint spec for EnableFromEnv
+	// pre/post say whether recovery to the pre-batch / post-batch state is
+	// acceptable after a kill at this site.
+	pre, post bool
+}
+
+var crashPoints = []crashPoint{
+	// Before any bytes reach the WAL: the batch must vanish.
+	{spec: FailpointWALAppend + "=exit:7", pre: true},
+	// Mid-record torn write: the torn tail must be detected and dropped.
+	{spec: FailpointWALTorn + "=exit:7", pre: true},
+	// Record fully written, fsync pending. The kill is a process death, not
+	// a power cut, so the OS may keep the pages — either state is legal.
+	{spec: FailpointWALSync + "=exit:7", pre: true, post: true},
+	// Record durable, in-memory swap pending: replay must resurrect it.
+	{spec: FailpointApply + "=exit:7", post: true},
+	// Checkpoint kills: the batch is durable in the WAL, so always post.
+	{spec: FailpointSnapshotWrite + "=exit:7", post: true},
+	{spec: FailpointSnapshotRename + "=exit:7", post: true},
+	{spec: FailpointWALTruncate + "=exit:7", post: true},
+}
+
+// crashBatch is the deterministic batch the child applies at a given step:
+// one fresh insert, plus a delete of the insert from two steps earlier (a
+// no-op when that step's batch was lost — deletes of absent tuples are
+// no-ops by design, which keeps every step's batch valid regardless of
+// which way earlier recoveries landed).
+func crashBatch(step int) Batch {
+	b := Batch{{
+		Relation: step % 3,
+		Inserts:  []relation.Tuple{relation.Ints(int64(1000+step), int64(step))},
+	}}
+	if prev := step - 2; prev >= 0 {
+		b = append(b, Mutation{
+			Relation: prev % 3,
+			Deletes:  []relation.Tuple{relation.Ints(int64(1000+prev), int64(prev))},
+		})
+	}
+	return b
+}
+
+// TestCrashChild is the re-exec target; it only runs when the parent harness
+// sets STORE_CRASH_CHILD. It arms failpoints from the environment, opens the
+// store, applies the step's batch, and checkpoints — crashing wherever the
+// armed site fires.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv("STORE_CRASH_CHILD") != "1" {
+		t.Skip("not a crash-harness child")
+	}
+	if err := failpoint.EnableFromEnv("STORE_CRASH_FAILPOINTS"); err != nil {
+		fmt.Fprintln(os.Stderr, "child: bad failpoint spec:", err)
+		os.Exit(3)
+	}
+	dir := os.Getenv("STORE_CRASH_DIR")
+	var step int
+	fmt.Sscanf(os.Getenv("STORE_CRASH_STEP"), "%d", &step)
+	s, err := Open(dir, Options{Fsync: FsyncAlways, CheckpointEvery: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child: open:", err)
+		os.Exit(3)
+	}
+	if len(s.Names()) == 0 {
+		// Setup run: create the seed catalog and exit cleanly.
+		mk := func(a, b string) *relation.Relation {
+			r := relation.New(relation.MustSchema(a, b))
+			r.MustInsert(relation.Ints(1, 2))
+			r.MustInsert(relation.Ints(2, 3))
+			r.MustInsert(relation.Ints(3, 1))
+			return r
+		}
+		if err := s.Create("crash", relation.MustDatabase(mk("A", "B"), mk("B", "C"), mk("C", "A"))); err != nil {
+			fmt.Fprintln(os.Stderr, "child: create:", err)
+			os.Exit(3)
+		}
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "child: close:", err)
+			os.Exit(3)
+		}
+		os.Exit(0)
+	}
+	if _, err := s.Apply("crash", crashBatch(step)); err != nil {
+		fmt.Fprintln(os.Stderr, "child: apply:", err)
+		os.Exit(3)
+	}
+	if err := s.Checkpoint("crash"); err != nil {
+		fmt.Fprintln(os.Stderr, "child: checkpoint:", err)
+		os.Exit(3)
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "child: close:", err)
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// runCrashChild re-execs the test binary as a crash child and returns its
+// exit code.
+func runCrashChild(t *testing.T, dir string, step int, failpoints string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"STORE_CRASH_CHILD=1",
+		"STORE_CRASH_DIR="+dir,
+		fmt.Sprintf("STORE_CRASH_STEP=%d", step),
+		"STORE_CRASH_FAILPOINTS="+failpoints,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if code := ee.ExitCode(); code == crashExitCode {
+			return code
+		}
+		t.Fatalf("child (step %d, failpoints %q) exited %d:\n%s", step, failpoints, ee.ExitCode(), out)
+	}
+	t.Fatalf("child failed to run: %v\n%s", err, out)
+	return -1
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	// Setup run: child creates the seed catalog with no failpoints armed.
+	if code := runCrashChild(t, dir, 0, ""); code != 0 {
+		t.Fatalf("setup child exited %d", code)
+	}
+
+	// Track the authoritative pre-batch state by reopening after each kill.
+	s := open(t, dir, Options{CheckpointEvery: -1})
+	pre, err := s.Current("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const iterations = 21 // ≥ 20 randomized kill points, every site covered
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("crash harness seed %d, %d iterations", seed, iterations)
+
+	for step := 1; step <= iterations; step++ {
+		// First len(crashPoints) steps cover every site once; the rest are
+		// randomized draws.
+		var cp crashPoint
+		if step <= len(crashPoints) {
+			cp = crashPoints[step-1]
+		} else {
+			cp = crashPoints[rng.Intn(len(crashPoints))]
+		}
+		batch := crashBatch(step)
+		post, _, _, err := applyBatch(pre, batch)
+		if err != nil {
+			t.Fatalf("step %d: reference apply: %v", step, err)
+		}
+
+		if code := runCrashChild(t, dir, step, cp.spec); code != crashExitCode {
+			t.Fatalf("step %d (%s): child exited %d, want %d", step, cp.spec, code, crashExitCode)
+		}
+
+		// Recover in-process and diff the catalog against pre/post.
+		s, err := Open(dir, Options{CheckpointEvery: -1})
+		if err != nil {
+			t.Fatalf("step %d (%s): recovery open: %v", step, cp.spec, err)
+		}
+		got, err := s.Current("crash")
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", step, cp.spec, err)
+		}
+		switch {
+		case cp.pre && equalDB(got, pre):
+			// Batch lost before its durability point: legal.
+		case cp.post && equalDB(got, post):
+			pre = got // batch survived; it is the next step's baseline
+		default:
+			st := s.Stats()
+			t.Fatalf("step %d (%s): recovered state is neither pre nor post batch\n got %v\n pre %v\npost %v\nstats %+v",
+				step, cp.spec, got, pre, post, st)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("step %d: close: %v", step, err)
+		}
+	}
+}
+
+// equalDB is mustEqualDB without the Fatal: a full relation-by-relation diff.
+func equalDB(a, b *relation.Database) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Relation(i).Equal(b.Relation(i)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine/failpoint"
+	"repro/internal/relation"
+)
+
+// Snapshot files hold one framed record (same framing as the WAL) whose
+// payload is the whole catalog, behind the snapshot magic. Writes are
+// atomic: the bytes go to snapshot.tmp, are fsynced, and the file is
+// renamed over snapshot.dat with a directory fsync — so snapshot.dat is
+// always either the previous complete snapshot or the new complete
+// snapshot, never a mixture. Recovery therefore trusts it: a snapshot that
+// fails its checksum means real damage (a torn snapshot is impossible under
+// this protocol), and the open fails loudly instead of guessing.
+
+const (
+	snapshotName = "snapshot.dat"
+	snapshotTemp = "snapshot.tmp"
+	walName      = "wal.log"
+)
+
+// Failpoint sites inside the checkpoint path, in execution order.
+const (
+	// FailpointSnapshotWrite fires mid-temp-file write: a crash leaves a
+	// stale snapshot.tmp and an intact snapshot.dat + WAL (recovery
+	// ignores the temp file).
+	FailpointSnapshotWrite = "store.snapshot.write"
+	// FailpointSnapshotRename fires after the temp file is durable, before
+	// the rename: same recovery picture as FailpointSnapshotWrite.
+	FailpointSnapshotRename = "store.snapshot.rename"
+	// FailpointWALTruncate fires after the snapshot rename, before the WAL
+	// truncate: recovery replays the (now-covered) WAL onto the new
+	// snapshot, which is idempotent — see wal.truncate.
+	FailpointWALTruncate = "store.wal.truncate"
+)
+
+// writeSnapshot atomically replaces dir's snapshot with db's contents and
+// returns the bytes written.
+func writeSnapshot(dir string, db *relation.Database) (int64, error) {
+	payload := appendDatabase(nil, db)
+	frame := appendRecord(make([]byte, 0, len(snapMagic)+recordHeaderSize+len(payload)), payload)
+	tmp := filepath.Join(dir, snapshotTemp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write([]byte(snapMagic)); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := failpoint.Check(FailpointSnapshotWrite); err != nil {
+		// Crash-point: leave a half-written temp file behind, exactly what
+		// a power cut mid-checkpoint produces.
+		_, _ = f.Write(frame[:len(frame)/2])
+		_ = f.Sync()
+		failpoint.ExitIf(err)
+		f.Close()
+		return 0, fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := failpoint.Check(FailpointSnapshotRename); err != nil {
+		failpoint.ExitIf(err)
+		return 0, fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(len(snapMagic) + len(frame)), nil
+}
+
+// loadSnapshot reads dir's snapshot. A missing file returns (nil, false,
+// nil) — the database was never fully created. Any corruption is a hard
+// error: the atomic write protocol means snapshot.dat cannot be torn, so
+// damage here is not recoverable by truncation.
+func loadSnapshot(dir string) (*relation.Database, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if len(raw) < len(snapMagic) || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, false, fmt.Errorf("%w: %s is not a snapshot (or is a different format version)", ErrBadMagic, dir)
+	}
+	payload, n, err := readRecord(raw[len(snapMagic):])
+	if err != nil {
+		return nil, false, fmt.Errorf("store: snapshot %s: %w", dir, err)
+	}
+	if len(snapMagic)+n != len(raw) {
+		return nil, false, fmt.Errorf("%w: %d trailing bytes after snapshot record", ErrCorrupt, len(raw)-len(snapMagic)-n)
+	}
+	db, err := decodeDatabase(payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: snapshot %s: %w", dir, err)
+	}
+	return db, true, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine/failpoint"
+)
+
+// FsyncPolicy says when the WAL calls fsync after an append.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every appended record: a batch acknowledged
+	// to the client survives a power cut, at one disk flush per ingest.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background ticker (Options.FsyncInterval):
+	// a process crash loses nothing (the OS holds the pages), a power cut
+	// may lose the last interval's acknowledged batches.
+	FsyncInterval
+	// FsyncNever leaves flushing entirely to the OS.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (valid: always, interval, never)", s)
+}
+
+// String renders the policy as its flag value.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// Failpoint sites inside the WAL append path, in execution order. The crash
+// harness arms them (via failpoint.EnableFromEnv) to kill a child process
+// at each stage; in-process tests arm them with plain errors to walk the
+// abort paths.
+const (
+	// FailpointWALAppend fires before any bytes are written: a crash here
+	// loses the batch entirely (recovery = pre-batch state).
+	FailpointWALAppend = "store.wal.append"
+	// FailpointWALTorn fires mid-write: the WAL writes a strict prefix of
+	// the framed record — a torn write — then crashes or errors. Recovery
+	// must detect the torn tail by checksum and land on the pre-batch
+	// state.
+	FailpointWALTorn = "store.wal.torn"
+	// FailpointWALSync fires after the record is fully written, before
+	// fsync: a process crash here keeps the record (the OS has the pages),
+	// so recovery lands on the post-batch state.
+	FailpointWALSync = "store.wal.sync"
+)
+
+// wal is one database's write-ahead log: an append-only file of framed
+// batch records after an 8-byte magic. Not safe for concurrent use; the
+// owning dbState serializes access.
+type wal struct {
+	path   string
+	f      *os.File
+	size   int64 // current file size (next append offset)
+	policy FsyncPolicy
+	dirty  atomic.Bool // bytes appended since the last fsync
+
+	// Shared store-level counters (may be nil in low-level tests).
+	appends, bytes *atomic.Int64
+}
+
+// createWAL creates an empty WAL at path (magic only, synced).
+func createWAL(path string, policy FsyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{path: path, f: f, size: int64(len(walMagic)), policy: policy}, nil
+}
+
+// openWAL opens an existing WAL, replaying its record payloads. A torn
+// final record — truncated framing or a checksum mismatch at the tail,
+// exactly what an interrupted append leaves behind — is tolerated: the file
+// is truncated back to the last intact record and the tally of dropped
+// bytes is reported. A missing or empty file (a crash between file creation
+// and the magic write) is treated as a fresh WAL. A bad magic on a nonempty
+// file is real corruption and fails the open.
+func openWAL(path string, policy FsyncPolicy) (w *wal, payloads [][]byte, tornBytes int64, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		w, err := createWAL(path, policy)
+		return w, nil, 0, err
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(raw) < len(walMagic) {
+		// Torn at creation: nothing was ever logged.
+		if err := os.Remove(path); err != nil {
+			return nil, nil, 0, err
+		}
+		w, err := createWAL(path, policy)
+		return w, nil, int64(len(raw)), err
+	}
+	if string(raw[:len(walMagic)]) != walMagic {
+		return nil, nil, 0, fmt.Errorf("%w: %s is not a WAL (or is a different format version)", ErrBadMagic, path)
+	}
+	body := raw[len(walMagic):]
+	payloads, offset, derr := readRecords(body)
+	goodSize := int64(len(walMagic) + offset)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if derr != nil {
+		// Torn tail: drop everything past the last intact record. Anything
+		// after a bad checksum is untrustworthy, so replay stops here by
+		// design; the append protocol (one fsynced record per acknowledged
+		// batch) means only an unacknowledged batch can be lost.
+		tornBytes = int64(len(raw)) - goodSize
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(goodSize, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return &wal{path: path, f: f, size: goodSize, policy: policy}, payloads, tornBytes, nil
+}
+
+// append frames and writes one batch payload, honoring the fsync policy and
+// the WAL failpoint sites. On an injected torn write it leaves the partial
+// record in place (that is the point: the next open must cope); on other
+// failures it truncates back to the pre-append offset so an errored ingest
+// is not silently replayed after a restart.
+func (w *wal) append(payload []byte) (int64, error) {
+	if err := failpoint.Check(FailpointWALAppend); err != nil {
+		failpoint.ExitIf(err)
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	frame := appendRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
+	if err := failpoint.Check(FailpointWALTorn); err != nil {
+		// Torn-write injection: a strict prefix of the frame reaches the
+		// disk, then the process dies (crash harness) or the append errors
+		// (in-process tests). Sync the partial bytes so a kill cannot hide
+		// the tear.
+		n := len(frame) / 2
+		if n == 0 {
+			n = 1
+		}
+		if _, werr := w.f.Write(frame[:n]); werr == nil {
+			w.size += int64(n)
+			_ = w.f.Sync()
+		}
+		failpoint.ExitIf(err)
+		return 0, fmt.Errorf("store: wal torn write: %w", err)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollbackTo(w.size)
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	written := int64(len(frame))
+	if err := failpoint.Check(FailpointWALSync); err != nil {
+		failpoint.ExitIf(err)
+		w.rollbackTo(w.size)
+		return 0, fmt.Errorf("store: wal sync: %w", err)
+	}
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.rollbackTo(w.size)
+			return 0, fmt.Errorf("store: wal sync: %w", err)
+		}
+	} else {
+		w.dirty.Store(true)
+	}
+	w.size += written
+	if w.appends != nil {
+		w.appends.Add(1)
+	}
+	if w.bytes != nil {
+		w.bytes.Add(written)
+	}
+	return written, nil
+}
+
+// rollbackTo best-effort truncates the file back to size after a failed
+// append, so a half-acknowledged record is not replayed on restart.
+func (w *wal) rollbackTo(size int64) {
+	if err := w.f.Truncate(size); err != nil {
+		return
+	}
+	_, _ = w.f.Seek(size, 0)
+}
+
+// sync flushes pending appends if any; the interval syncer calls it.
+func (w *wal) sync() error {
+	if !w.dirty.Swap(false) {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// truncate empties the WAL back to its magic header; the checkpointer calls
+// it once a snapshot covering every logged record is durable. Crash-safe
+// ordering note: if the process dies after the snapshot rename but before
+// this truncate, recovery replays the WAL's records onto the new snapshot —
+// which is idempotent, because within each record deletes precede inserts
+// and across records the last record touching a tuple decides it, so a full
+// ordered replay reproduces exactly the state the snapshot captured.
+func (w *wal) truncate() error {
+	if err := failpoint.Check(FailpointWALTruncate); err != nil {
+		failpoint.ExitIf(err)
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	w.dirty.Store(false)
+	return nil
+}
+
+// records returns the number of complete records currently in the file;
+// used by tests and the checkpointer's "anything to do?" check. It is a
+// size heuristic only when records vary — so instead the dbState tracks the
+// count; this helper just reports whether the WAL is empty.
+func (w *wal) empty() bool { return w.size == int64(len(walMagic)) }
+
+// close flushes and closes the file.
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// syncInterval normalizes the configured interval.
+func syncInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 100 * time.Millisecond
+	}
+	return d
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Smoke test for joind: build it, start it, register the triangle example
-# database, run one query, and assert a 200 with a nonempty result — then
-# scrape /metrics and /v1/slow and assert the observability surface
-# recorded the queries. CI runs this after the unit tests; it is also
-# handy locally:
+# Smoke test for joind: build it, start it with a durable data directory,
+# register the triangle example database, run queries, ingest a batch, and
+# assert the observability surface recorded all of it — then exercise both
+# shutdown paths: a graceful SIGTERM restart (clean checkpoint, zero WAL
+# replay) and a kill -9 restart (WAL replay recovers the last ingest). CI
+# runs this after the unit tests; it is also handy locally:
 #
 #   ./scripts/smoke_joind.sh
 set -euo pipefail
@@ -11,22 +12,41 @@ cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
+DATA_DIR=$(mktemp -d /tmp/joind_smoke.XXXXXX)
+JOIND_PID=""
+trap 'kill -9 "$JOIND_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
 
 go build -o /tmp/joind ./cmd/joind
-/tmp/joind -addr "$ADDR" -workers 2 -global-max-tuples 100000 -slow-threshold 1ns &
-JOIND_PID=$!
-trap 'kill "$JOIND_PID" 2>/dev/null || true' EXIT
 
-# Wait for liveness.
-for _ in $(seq 1 50); do
-    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    sleep 0.1
-done
+start_joind() {
+    /tmp/joind -addr "$ADDR" -workers 2 -global-max-tuples 100000 \
+        -slow-threshold 1ns -data-dir "$DATA_DIR" -fsync always "$@" &
+    JOIND_PID=$!
+}
+
+# Poll readiness with bounded retry and exponential backoff: /readyz (and
+# the readiness-gated /healthz) answer 503 "recovering" until the store has
+# replayed its snapshot + WAL tail.
+wait_ready() {
+    local delay=0.05 attempt
+    for attempt in $(seq 1 40); do
+        if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep "$delay"
+        delay=$(awk -v d="$delay" 'BEGIN { d = d * 1.5; if (d > 1) d = 1; print d }')
+    done
+    echo "joind did not become ready after $attempt attempts" >&2
+    return 1
+}
+
+start_joind
+wait_ready
+# Liveness must answer too (it was already up during recovery).
+curl -fsS "$BASE/livez" >/dev/null
 curl -fsS "$BASE/healthz" >/dev/null
 
-# Register the triangle example database.
+# Register the triangle example database (persisted to the data dir).
 code=$(curl -sS -o /tmp/joind_register.json -w '%{http_code}' \
     -X POST "$BASE/v1/databases" \
     -H 'Content-Type: application/json' \
@@ -77,20 +97,52 @@ grep -q '"trace_id":"' /tmp/joind_query1.json || {
     exit 1
 }
 
+# Durable ingest: add a disjoint triangle (10,11,12) as one atomic batch.
+# The join gains exactly one row, and the cached plan is invalidated.
+code=$(curl -sS -o /tmp/joind_ingest.json -w '%{http_code}' \
+    -X POST "$BASE/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"database":"triangle","mutations":[
+          {"relation":0,"inserts":[[10,11]]},
+          {"relation":1,"inserts":[[11,12]]},
+          {"relation":2,"inserts":[[12,10]]}]}')
+if [ "$code" != "200" ]; then
+    echo "ingest: expected 200, got $code:" >&2
+    cat /tmp/joind_ingest.json >&2
+    exit 1
+fi
+grep -q '"inserted":3' /tmp/joind_ingest.json || {
+    echo "ingest: expected 3 effective inserts:" >&2
+    cat /tmp/joind_ingest.json >&2
+    exit 1
+}
+code=$(query /tmp/joind_query3.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":4' /tmp/joind_query3.json; then
+    echo "query after ingest: expected 200 with result_count 4 (got $code):" >&2
+    cat /tmp/joind_query3.json >&2
+    exit 1
+fi
+
 # /metrics must serve valid Prometheus text with the core series moved by
-# the two queries above.
+# the queries and the ingest above.
 curl -fsS "$BASE/metrics" >/tmp/joind_metrics.txt
 for series in \
-    'joind_queries_total{strategy="program",status="ok"} 2' \
-    'joind_query_duration_seconds_count 2' \
-    'joind_queue_wait_seconds_count 2' \
-    'joind_plan_cache_hits_total 1' \
-    'joind_plan_cache_misses_total 1' \
+    'joind_query_duration_seconds_count 3' \
+    'joind_queue_wait_seconds_count 3' \
+    'joind_plan_cache_misses_total 2' \
     'joind_registered_databases 1' \
-    'joind_slow_queries_total 2' \
+    'joind_slow_queries_total 3' \
     'joind_tuples_produced_total' \
     'joind_worker_utilization' \
-    'joind_tuple_budget_remaining'; do
+    'joind_tuple_budget_remaining' \
+    'joind_store_attached 1' \
+    'joind_ingests_total{status="ok"} 1' \
+    'joind_ingest_duration_seconds_count 1' \
+    'joind_wal_appends_total 1' \
+    'joind_wal_bytes_total' \
+    'joind_snapshot_writes_total' \
+    'joind_plan_cache_invalidations_total 1' \
+    'joind_recovery_replayed_records 0'; do
     grep -qF "$series" /tmp/joind_metrics.txt || {
         echo "metrics: missing expected series/sample: $series" >&2
         cat /tmp/joind_metrics.txt >&2
@@ -106,7 +158,7 @@ else
     exit 1
 fi
 
-# /v1/slow must have captured both queries (1ns threshold = everything),
+# /v1/slow must have captured the queries (1ns threshold = everything),
 # with embedded span trees.
 curl -fsS "$BASE/v1/slow" >/tmp/joind_slow.json
 grep -q '"enabled":true' /tmp/joind_slow.json || {
@@ -114,8 +166,8 @@ grep -q '"enabled":true' /tmp/joind_slow.json || {
     cat /tmp/joind_slow.json >&2
     exit 1
 }
-grep -q '"recorded":2' /tmp/joind_slow.json || {
-    echo "/v1/slow did not capture both queries:" >&2
+grep -q '"recorded":3' /tmp/joind_slow.json || {
+    echo "/v1/slow did not capture all three queries:" >&2
     cat /tmp/joind_slow.json >&2
     exit 1
 }
@@ -125,4 +177,55 @@ grep -q '"kind":"query"' /tmp/joind_slow.json || {
     exit 1
 }
 
-echo "joind smoke: OK (register 201, two 200 queries, cache hit, metrics + slow log recorded)"
+# Graceful restart: SIGTERM flushes the WAL and writes a clean checkpoint,
+# so the next start recovers the full catalog with zero WAL replay.
+kill -TERM "$JOIND_PID"
+wait "$JOIND_PID" || {
+    echo "joind did not exit cleanly on SIGTERM" >&2
+    exit 1
+}
+start_joind
+wait_ready
+code=$(query /tmp/joind_query4.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":4' /tmp/joind_query4.json; then
+    echo "query after graceful restart: expected 200 with result_count 4 (got $code):" >&2
+    cat /tmp/joind_query4.json >&2
+    exit 1
+fi
+curl -fsS "$BASE/metrics" | grep -qF 'joind_recovery_replayed_records 0' || {
+    echo "graceful restart: expected zero WAL replay (clean final checkpoint)" >&2
+    exit 1
+}
+
+# Crash restart: ingest another triangle (20,21,22), kill -9 before any
+# checkpoint can run, and assert the restart replays the WAL record.
+code=$(curl -sS -o /tmp/joind_ingest2.json -w '%{http_code}' \
+    -X POST "$BASE/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"database":"triangle","mutations":[
+          {"relation":0,"inserts":[[20,21]]},
+          {"relation":1,"inserts":[[21,22]]},
+          {"relation":2,"inserts":[[22,20]]}]}')
+if [ "$code" != "200" ]; then
+    echo "second ingest: expected 200, got $code:" >&2
+    cat /tmp/joind_ingest2.json >&2
+    exit 1
+fi
+kill -9 "$JOIND_PID"
+wait "$JOIND_PID" 2>/dev/null || true
+start_joind
+wait_ready
+code=$(query /tmp/joind_query5.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":5' /tmp/joind_query5.json; then
+    echo "query after crash restart: expected 200 with result_count 5 (got $code):" >&2
+    cat /tmp/joind_query5.json >&2
+    exit 1
+fi
+curl -fsS "$BASE/metrics" >/tmp/joind_metrics2.txt
+grep -qF 'joind_recovery_replayed_records 1' /tmp/joind_metrics2.txt || {
+    echo "crash restart: expected exactly one replayed WAL record:" >&2
+    grep 'joind_recovery' /tmp/joind_metrics2.txt >&2 || true
+    exit 1
+}
+
+echo "joind smoke: OK (ready gate, durable register + ingest, cache hit, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
