@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postJSON posts body to path and decodes the response envelope.
+func postJSON(t *testing.T, srv *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestMutationsGatedOnReadiness pins the recovery-window contract: while the
+// service is not ready (joind serves HTTP before the store is attached, and
+// again during shutdown), register and ingest must be refused with 503 —
+// never accepted into an in-memory-only catalog that a restart would lose.
+func TestMutationsGatedOnReadiness(t *testing.T) {
+	s := newStoreService(t, t.TempDir(), Config{Workers: 1})
+	defer s.Close(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	s.SetReady(false)
+	register := `{"name":"tri","relations":[
+		{"attrs":["A","B"],"tuples":[[0,1]]},
+		{"attrs":["B","C"],"tuples":[[1,2]]},
+		{"attrs":["C","A"],"tuples":[[2,0]]}]}`
+	ingest := `{"database":"tri","mutations":[{"relation":0,"inserts":[[10,11]]}]}`
+	for path, body := range map[string]string{"/v1/databases": register, "/v1/ingest": ingest} {
+		code, out := postJSON(t, srv, path, body)
+		if code != http.StatusServiceUnavailable || out["kind"] != "unavailable" {
+			t.Errorf("not-ready POST %s = %d %v, want 503 unavailable", path, code, out)
+		}
+	}
+	// Nothing must have leaked into the catalog or the store.
+	if got := s.Databases(); len(got) != 0 {
+		t.Fatalf("catalog after gated mutations: %v", got)
+	}
+
+	s.SetReady(true)
+	if code, out := postJSON(t, srv, "/v1/databases", register); code != http.StatusCreated {
+		t.Fatalf("ready register = %d %v", code, out)
+	}
+	if code, out := postJSON(t, srv, "/v1/ingest", ingest); code != http.StatusOK {
+		t.Fatalf("ready ingest = %d %v", code, out)
+	}
+}
+
+// TestRequestBodyLimits pins the per-endpoint MaxBytesReader caps: an
+// oversized body is 413 with kind "too_large", not an unbounded allocation.
+func TestRequestBodyLimits(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	// Pad a syntactically valid query request past the 1 MiB query cap.
+	body := `{"database":"x","strategy":"` + strings.Repeat(" ", maxQueryBody) + `"}`
+	code, out := postJSON(t, srv, "/v1/query", body)
+	if code != http.StatusRequestEntityTooLarge || out["kind"] != "too_large" {
+		t.Fatalf("oversized query body = %d %v, want 413 too_large", code, out)
+	}
+	// A normal-sized request on the same server still works end to end.
+	if _, err := s.Register("tri", triDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := postJSON(t, srv, "/v1/query", `{"database":"tri"}`); code != http.StatusOK {
+		t.Fatalf("small query = %d %v", code, out)
+	}
+}

@@ -29,13 +29,29 @@ import (
 // Admission rejections (queue full, queue timeout, global budget) are 429;
 // a query's own resource aborts are 422 (tuple budget) or 504 (deadline);
 // unknown databases are 404; duplicate registrations are 409; ingest
-// against a service with no durable store is 403. The request context is
-// propagated into the governor, so a dropped connection cancels the query's
-// execution.
+// against a service with no durable store is 403. Mutations (register,
+// ingest) are 503 while the service is not ready — before recovery attaches
+// the store, and again during shutdown — so a client can never get a 201/200
+// for a write the durable catalog never saw. Request bodies are bounded per
+// endpoint (oversized bodies are 413). The request context is propagated
+// into the governor, so a dropped connection cancels the query's execution.
 
 // StatusClientClosedRequest is the nonstandard (nginx-convention) status
 // reported when the client went away mid-query.
 const StatusClientClosedRequest = 499
+
+// Request-body ceilings, enforced with http.MaxBytesReader so one request
+// cannot make the daemon buffer an arbitrarily large body. Ingest bodies
+// get headroom over store.MaxRecordSize (JSON is less dense than the WAL's
+// binary codec; a batch near the record limit still has to be expressible),
+// and anything the cap lets through that still encodes past the record
+// limit is rejected with 400 by Store.Apply. Registration bodies may carry
+// a whole database, so their cap is the snapshot-scale one.
+const (
+	maxQueryBody    = 1 << 20                     // 1 MiB: query requests are tiny
+	maxIngestBody   = 3 * store.MaxRecordSize / 2 // 96 MiB: 1.5× the WAL record limit
+	maxRegisterBody = 1 << 30                     // 1 GiB: a full database as JSON
+)
 
 // registerRequest is the body of POST /v1/databases.
 type registerRequest struct {
@@ -92,7 +108,8 @@ type errorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure for scripting: "overloaded",
 	// "resource_limit", "deadline", "canceled", "not_found", "conflict",
-	// "bad_request", "read_only", "unavailable", or "internal".
+	// "bad_request", "too_large", "read_only", "unavailable", or
+	// "internal".
 	Kind string `json:"kind"`
 }
 
@@ -129,7 +146,25 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// gateMutation rejects mutation requests (register, ingest) with 503 while
+// the service is not ready — during startup recovery the durable store is
+// not attached yet, so an accepted mutation would be silently non-durable
+// (and during shutdown the store is about to close under it). Reads stay
+// available; load balancers steer by /readyz.
+func (s *Service) gateMutation(w http.ResponseWriter) bool {
+	if s.Ready() {
+		return true
+	}
+	writeError(w, http.StatusServiceUnavailable, "unavailable",
+		"service is recovering or shutting down; mutations are not accepted")
+	return false
+}
+
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRegisterBody)
 	var req registerRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -151,6 +186,7 @@ func (s *Service) handleListDatabases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var req queryRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -206,6 +242,10 @@ type ingestRequest struct {
 }
 
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
 	var req ingestRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -269,12 +309,18 @@ func truncate(r *relation.Relation, max int) (*relation.Relation, bool) {
 	return out, true
 }
 
-// decodeJSON parses the body into v, writing a 400 and returning non-nil on
-// failure.
+// decodeJSON parses the body into v, writing a 400 (or 413 when the body
+// blew its MaxBytesReader cap) and returning non-nil on failure.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds the %d-byte limit for this endpoint", tooBig.Limit))
+			return err
+		}
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return err
 	}

@@ -52,9 +52,11 @@ var (
 	// ErrReadOnly reports an ingest against a service with no durable store
 	// attached (joind without -data-dir). Serve it as HTTP 403.
 	ErrReadOnly = errors.New("service: no durable store attached (read-only)")
-	// ErrUnavailable reports a request that arrived while the service is
-	// shutting down. Serve it as HTTP 503.
-	ErrUnavailable = errors.New("service: shutting down")
+	// ErrUnavailable reports a request the service cannot serve right now:
+	// it is still recovering its durable catalog, it is shutting down, or
+	// the store refused a mutation (e.g. a poisoned WAL after an fsync
+	// failure). Serve it as HTTP 503.
+	ErrUnavailable = errors.New("service: unavailable (recovering or shutting down)")
 )
 
 // Config sizes the service. The zero value gets sensible defaults from New.
@@ -338,7 +340,7 @@ func mapStoreError(err error) error {
 		return fmt.Errorf("%w: %v", ErrUnknownDatabase, err)
 	case errors.Is(err, store.ErrBadName), errors.Is(err, store.ErrBadBatch):
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
-	case errors.Is(err, store.ErrClosed):
+	case errors.Is(err, store.ErrClosed), errors.Is(err, store.ErrWALFailed):
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	default:
 		return err

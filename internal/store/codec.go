@@ -31,9 +31,20 @@ const (
 	snapMagic = "JDSNP\x00\x00\x01"
 )
 
-// MaxRecordSize caps a record's declared payload length; a larger length is
-// treated as corruption rather than an allocation request.
+// MaxRecordSize caps a WAL record's payload length, enforced at both ends:
+// wal.append rejects larger batches before writing (so an unreplayable
+// record is never acknowledged), and readRecord treats a larger declared
+// length as corruption rather than an allocation request. Snapshot records
+// are exempt — the atomic temp-file + rename protocol means a snapshot
+// record is trusted, so loadSnapshot reads with the frame's full 4 GiB
+// limit (maxFramePayload) instead.
 const MaxRecordSize = 64 << 20 // 64 MiB
+
+// maxFramePayload is the hard ceiling the 4-byte length field imposes on
+// any record's payload. writeSnapshot fails a checkpoint whose encoded
+// catalog exceeds it (keeping the old snapshot + WAL intact) rather than
+// writing a wrapped, unreadable length.
+const maxFramePayload = 1<<32 - 1
 
 // recordHeaderSize is the per-record framing overhead: 4-byte length +
 // 4-byte CRC32C.
@@ -67,14 +78,21 @@ func appendRecord(dst, payload []byte) []byte {
 
 // readRecord decodes one framed record from the front of b, returning the
 // payload and the total bytes consumed (header + payload). The payload
-// aliases b; callers that retain it must copy.
+// aliases b; callers that retain it must copy. The declared length is
+// capped at MaxRecordSize (the WAL limit); snapshot loading uses
+// readRecordLimit with the frame ceiling instead.
 func readRecord(b []byte) ([]byte, int, error) {
+	return readRecordLimit(b, MaxRecordSize)
+}
+
+// readRecordLimit is readRecord with an explicit payload-length cap.
+func readRecordLimit(b []byte, max uint64) ([]byte, int, error) {
 	if len(b) < recordHeaderSize {
 		return nil, 0, fmt.Errorf("%w: %d of %d header bytes", ErrTruncated, len(b), recordHeaderSize)
 	}
 	n := binary.BigEndian.Uint32(b)
-	if n > MaxRecordSize {
-		return nil, 0, fmt.Errorf("%w: declared %d bytes", ErrTooLarge, n)
+	if uint64(n) > max {
+		return nil, 0, fmt.Errorf("%w: declared %d bytes (limit %d)", ErrTooLarge, n, max)
 	}
 	want := binary.BigEndian.Uint32(b[4:])
 	end := recordHeaderSize + int(n)
@@ -122,7 +140,8 @@ type Mutation struct {
 type Batch []Mutation
 
 // Tuples returns the total tuple count named by the batch (inserts plus
-// deletes); the admission layer uses it for sizing.
+// deletes); Store.Apply rejects batches naming zero tuples, and the HTTP
+// layer bounds the encoded request body before a batch is ever built.
 func (b Batch) Tuples() int {
 	n := 0
 	for _, m := range b {

@@ -41,9 +41,17 @@ const (
 )
 
 // writeSnapshot atomically replaces dir's snapshot with db's contents and
-// returns the bytes written.
+// returns the bytes written. Snapshot records are not subject to the WAL's
+// MaxRecordSize — loadSnapshot trusts them via the rename protocol — but a
+// payload the 4-byte length field cannot express fails the checkpoint here,
+// leaving the old snapshot and the WAL intact, instead of producing a file
+// whose wrapped length no reader could ever accept.
 func writeSnapshot(dir string, db *relation.Database) (int64, error) {
 	payload := appendDatabase(nil, db)
+	if uint64(len(payload)) > maxFramePayload {
+		return 0, fmt.Errorf("store: snapshot of %s is %d bytes encoded, above the %d-byte frame limit",
+			dir, len(payload), uint64(maxFramePayload))
+	}
 	frame := appendRecord(make([]byte, 0, len(snapMagic)+recordHeaderSize+len(payload)), payload)
 	tmp := filepath.Join(dir, snapshotTemp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -102,7 +110,10 @@ func loadSnapshot(dir string) (*relation.Database, bool, error) {
 	if len(raw) < len(snapMagic) || string(raw[:len(snapMagic)]) != snapMagic {
 		return nil, false, fmt.Errorf("%w: %s is not a snapshot (or is a different format version)", ErrBadMagic, dir)
 	}
-	payload, n, err := readRecord(raw[len(snapMagic):])
+	// Snapshot records are trusted via the atomic-rename protocol, so they
+	// read with the frame's full limit, not the WAL's MaxRecordSize: a
+	// catalog legitimately larger than one ingest batch must keep loading.
+	payload, n, err := readRecordLimit(raw[len(snapMagic):], maxFramePayload)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: snapshot %s: %w", dir, err)
 	}

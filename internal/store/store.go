@@ -48,6 +48,12 @@ var (
 	ErrBadBatch = errors.New("store: invalid batch")
 	// ErrBadName reports a database name unusable as a directory name.
 	ErrBadName = errors.New("store: invalid database name")
+	// ErrWALFailed reports a WAL whose fsync failed: the kernel may have
+	// dropped the unflushed pages, so the on-disk tail is indeterminate and
+	// the database refuses further mutations (reads keep working) until a
+	// checkpoint rebuilds the log — or the process restarts and recovery
+	// re-establishes a known-good state.
+	ErrWALFailed = errors.New("store: wal fsync failed; database is read-only")
 )
 
 // FailpointApply fires after the WAL append succeeds and before the
@@ -346,6 +352,9 @@ func (s *Store) Apply(name string, batch Batch) (ApplyResult, error) {
 	if len(batch) == 0 {
 		return ApplyResult{}, fmt.Errorf("%w: empty batch", ErrBadBatch)
 	}
+	if batch.Tuples() == 0 {
+		return ApplyResult{}, fmt.Errorf("%w: batch names no tuples", ErrBadBatch)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	old := st.current.Load()
@@ -355,6 +364,9 @@ func (s *Store) Apply(name string, batch Batch) (ApplyResult, error) {
 	if err != nil {
 		return ApplyResult{}, err
 	}
+	// The append itself enforces MaxRecordSize: a batch whose encoded
+	// payload could not be replayed is rejected (ErrBadBatch) before any
+	// byte reaches the log.
 	walBytes, err := st.wal.append(appendBatch(nil, batch))
 	if err != nil {
 		return ApplyResult{}, err

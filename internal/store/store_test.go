@@ -221,6 +221,7 @@ func TestApplyValidation(t *testing.T) {
 	}
 	cases := map[string]Batch{
 		"empty batch":        {},
+		"no tuples":          {{Relation: 0}, {Relation: 1}},
 		"bad relation index": {{Relation: 5, Inserts: []relation.Tuple{relation.Ints(1, 2)}}},
 		"negative index":     {{Relation: -1}},
 		"insert arity":       {{Relation: 0, Inserts: []relation.Tuple{relation.Ints(1, 2, 3)}}},

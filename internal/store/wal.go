@@ -81,6 +81,15 @@ type wal struct {
 	policy FsyncPolicy
 	dirty  atomic.Bool // bytes appended since the last fsync
 
+	// failed, once set, poisons the WAL: an fsync failed, so the kernel
+	// may have dropped the unflushed pages and the on-disk tail is
+	// indeterminate — further appends are refused with ErrWALFailed
+	// instead of acknowledging batches whose durability is unknowable.
+	// A successful checkpoint clears it: once the WAL is truncated back
+	// to its magic and that truncation is fsynced, every page of unknown
+	// fate lies beyond EOF. Guarded by the owning dbState's mutex.
+	failed error
+
 	// Shared store-level counters (may be nil in low-level tests).
 	appends, bytes *atomic.Int64
 }
@@ -159,11 +168,22 @@ func openWAL(path string, policy FsyncPolicy) (w *wal, payloads [][]byte, tornBy
 }
 
 // append frames and writes one batch payload, honoring the fsync policy and
-// the WAL failpoint sites. On an injected torn write it leaves the partial
-// record in place (that is the point: the next open must cope); on other
-// failures it truncates back to the pre-append offset so an errored ingest
-// is not silently replayed after a restart.
+// the WAL failpoint sites. Payloads above MaxRecordSize are rejected before
+// any byte is written: readRecord refuses them on replay, so acknowledging
+// one would guarantee its loss (plus everything logged after it) on the
+// next open. On an injected torn write it leaves the partial record in
+// place (that is the point: the next open must cope); on a failed write it
+// truncates back to the pre-append offset so an errored ingest is not
+// silently replayed after a restart; on a failed fsync it poisons the WAL
+// (see wal.failed) rather than trusting the same fd any further.
 func (w *wal) append(payload []byte) (int64, error) {
+	if w.failed != nil {
+		return 0, fmt.Errorf("%w: %v", ErrWALFailed, w.failed)
+	}
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("%w: encoded batch is %d bytes, above the %d-byte WAL record limit",
+			ErrBadBatch, len(payload), MaxRecordSize)
+	}
 	if err := failpoint.Check(FailpointWALAppend); err != nil {
 		failpoint.ExitIf(err)
 		return 0, fmt.Errorf("store: wal append: %w", err)
@@ -197,8 +217,12 @@ func (w *wal) append(payload []byte) (int64, error) {
 	}
 	if w.policy == FsyncAlways {
 		if err := w.f.Sync(); err != nil {
-			w.rollbackTo(w.size)
-			return 0, fmt.Errorf("store: wal sync: %w", err)
+			// A failed fsync may have dropped dirty pages (Linux clears
+			// the error state), so neither the record nor a rollback
+			// truncate can be made durable on this fd — do not touch the
+			// file, just refuse all further appends.
+			w.failed = err
+			return 0, fmt.Errorf("%w: %v", ErrWALFailed, err)
 		}
 	} else {
 		w.dirty.Store(true)
@@ -222,12 +246,20 @@ func (w *wal) rollbackTo(size int64) {
 	_, _ = w.f.Seek(size, 0)
 }
 
-// sync flushes pending appends if any; the interval syncer calls it.
+// sync flushes pending appends if any; the interval syncer calls it. A
+// failed flush poisons the WAL like a failed append-time fsync does.
 func (w *wal) sync() error {
+	if w.failed != nil {
+		return fmt.Errorf("%w: %v", ErrWALFailed, w.failed)
+	}
 	if !w.dirty.Swap(false) {
 		return nil
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		w.failed = err
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	return nil
 }
 
 // truncate empties the WAL back to its magic header; the checkpointer calls
@@ -253,6 +285,10 @@ func (w *wal) truncate() error {
 	}
 	w.size = int64(len(walMagic))
 	w.dirty.Store(false)
+	// The truncation is durable and the file holds nothing but its magic:
+	// any page a failed fsync may have dropped lies beyond EOF, so a
+	// previously poisoned WAL is serviceable again.
+	w.failed = nil
 	return nil
 }
 
