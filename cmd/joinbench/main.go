@@ -38,6 +38,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write per-experiment results as JSON to this file (\"-\" for stdout)")
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "write the EX7 speedup table as JSON to this file when EX7 runs (\"\" = skip)")
 	wcojJSON := flag.String("wcoj-json", "BENCH_wcoj.json", "write the EX8 program-vs-triejoin table as JSON to this file when EX8 runs (\"\" = skip)")
+	ivmJSON := flag.String("ivm-json", "BENCH_ivm.json", "write the EX9 delta-apply-vs-recompute table as JSON to this file when EX9 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -68,11 +69,13 @@ func main() {
 	e3Scale := int64(10)
 	ex7Scale, ex7Trials := int64(20), 3
 	ex8Trials := 3
+	ex9Trials := 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
 		ex7Scale, ex7Trials = 12, 2
 		ex8Trials = 1
+		ex9Trials = 1
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -113,6 +116,15 @@ func main() {
 			table, bench, err := experiments.WCOJComparison(*seed, ex8Trials)
 			if err == nil && *wcojJSON != "" {
 				if werr := writeWCOJBench(*wcojJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
+		{"EX9", func() (*experiments.Table, error) {
+			table, bench, err := experiments.IVMComparison(*seed, ex9Trials)
+			if err == nil && *ivmJSON != "" {
+				if werr := writeIVMBench(*ivmJSON, bench); werr != nil {
 					return nil, werr
 				}
 			}
@@ -210,6 +222,24 @@ func writeParallelBench(path string, bench *experiments.ParallelBenchResult) err
 // writeWCOJBench stores the EX8 machine-readable comparison table
 // (-wcoj-json; "-" = stdout).
 func writeWCOJBench(path string, bench *experiments.WCOJBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
+}
+
+// writeIVMBench stores the EX9 machine-readable delta-vs-recompute table
+// (-ivm-json; "-" = stdout).
+func writeIVMBench(path string, bench *experiments.IVMBenchResult) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

@@ -1,0 +1,240 @@
+// Package ivm maintains materialized join views incrementally. A view is a
+// registered query — ⋈D over one catalog database — whose derived program
+// (internal/core, via engine.PlanFor) is differentiated into a delta
+// program: for each base-relation delta batch (inserts and deletes), the
+// change is propagated through the program's join/semijoin/project steps
+// with the distributive rule
+//
+//	Δ(X ⋈ Y) = ΔX ⋈ Y' + X' ⋈ ΔY − ΔX ⋈ ΔY
+//
+// (primes are post-batch states; the subtraction removes the pair-delta
+// counted twice), instead of re-running the program from scratch. Every
+// intermediate step result is materialized with multiplicity counts —
+// derivation counts, not set cardinalities — so that deletes retract
+// exactly: a projected tuple with three derivations survives the loss of
+// one, and a tuple whose count reaches zero disappears. The support of each
+// counted state (rows with count > 0) equals the set-semantics value of the
+// corresponding program step, because joins multiply positive counts,
+// projections sum them, and semijoins scale by a 0/1 support indicator; the
+// view's result is therefore always the support of the output node.
+//
+// Semijoin steps additionally apply the Safe-Subjoins condition (see
+// PAPERS.md, "Safe Subjoins in Acyclic Joins"): a reducer delta ΔY can only
+// change the step's output for join keys whose support in Y actually flips.
+// When no key flips — the common case for small deltas against a large
+// reducer — re-running the reducer over the whole left operand is provably
+// unnecessary and the step touches only ΔX. These skips are counted
+// (BatchStats.ReducerSkips) so the serving layer can expose them.
+//
+// A View is not safe for concurrent use; the serving layer (internal/
+// service) guards each view with its own mutex and applies deltas in WAL
+// order under the catalog entry's ingest lock.
+package ivm
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// rowKey is the injective byte encoding of a whole tuple, used as the map
+// key of counted states and deltas. relation.AppendTupleBinary
+// length-prefixes every value, so distinct tuples never collide.
+func rowKey(t relation.Tuple) string {
+	return string(relation.AppendTupleBinary(nil, t))
+}
+
+// groupKey encodes the tuple restricted to the given column positions, in
+// the order given. Two tuples agree on the columns iff their group keys are
+// equal; the empty position list maps every tuple to "" — the single bucket
+// a Cartesian (no common attribute) join probes.
+func groupKey(t relation.Tuple, pos []int) string {
+	var buf []byte
+	for _, p := range pos {
+		buf = relation.AppendValueBinary(buf, t[p])
+	}
+	return string(buf)
+}
+
+// crow is one counted row: a tuple and its multiplicity (derivation count).
+// Counts in a node's state are always positive; a count reaching zero
+// removes the row.
+type crow struct {
+	t relation.Tuple
+	n int64
+}
+
+// nodeIndex is a maintained hash index over one node's state, keyed by the
+// group key of a fixed column position list. Buckets share *crow pointers
+// with the node's row map, so count changes are visible without index
+// writes; only row creation and removal touch the buckets. totals tracks
+// Σcount per bucket — the semijoin support test is totals[k] > 0, and the
+// pre-batch support is recovered as totals[k] minus the delta's key total.
+type nodeIndex struct {
+	pos     []int
+	buckets map[string]map[string]*crow
+	totals  map[string]int64
+}
+
+func newNodeIndex(pos []int) *nodeIndex {
+	return &nodeIndex{
+		pos:     pos,
+		buckets: make(map[string]map[string]*crow),
+		totals:  make(map[string]int64),
+	}
+}
+
+// insert adds a newly created row to its bucket.
+func (ix *nodeIndex) insert(key string, c *crow) {
+	gk := groupKey(c.t, ix.pos)
+	b := ix.buckets[gk]
+	if b == nil {
+		b = make(map[string]*crow)
+		ix.buckets[gk] = b
+	}
+	b[key] = c
+	ix.totals[gk] += c.n
+}
+
+// bump adjusts the bucket total for an existing row whose count changed.
+func (ix *nodeIndex) bump(t relation.Tuple, dn int64) {
+	ix.totals[groupKey(t, ix.pos)] += dn
+}
+
+// drop removes a row whose count reached zero.
+func (ix *nodeIndex) drop(key string, t relation.Tuple) {
+	gk := groupKey(t, ix.pos)
+	b := ix.buckets[gk]
+	delete(b, key)
+	if len(b) == 0 {
+		delete(ix.buckets, gk)
+		delete(ix.totals, gk)
+	}
+}
+
+// reset empties the index.
+func (ix *nodeIndex) reset() {
+	ix.buckets = make(map[string]map[string]*crow)
+	ix.totals = make(map[string]int64)
+}
+
+// node is one SSA node of the delta program: an input relation or the
+// result of one statement, with its materialized counted state and the
+// indexes the steps touching it registered at compile time.
+type node struct {
+	id      int
+	label   string
+	schema  *relation.Schema
+	rows    map[string]*crow
+	indexes []*nodeIndex
+}
+
+// index returns the node's maintained index over pos, creating it if no
+// step registered an equal position list yet. Compile-time only.
+func (nd *node) index(pos []int) *nodeIndex {
+	for _, ix := range nd.indexes {
+		if equalInts(ix.pos, pos) {
+			return ix
+		}
+	}
+	ix := newNodeIndex(pos)
+	nd.indexes = append(nd.indexes, ix)
+	return ix
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// apply adjusts one row's multiplicity by dn, maintaining the indexes. A
+// resulting negative count is an internal inconsistency (a retraction of a
+// derivation that was never counted); the caller must rebuild the view.
+func (nd *node) apply(key string, t relation.Tuple, dn int64) error {
+	if dn == 0 {
+		return nil
+	}
+	c := nd.rows[key]
+	if c == nil {
+		if dn < 0 {
+			return fmt.Errorf("ivm: %s: retracting %d derivations of absent tuple %s", nd.label, -dn, t)
+		}
+		c = &crow{t: t, n: dn}
+		nd.rows[key] = c
+		for _, ix := range nd.indexes {
+			ix.insert(key, c)
+		}
+		return nil
+	}
+	c.n += dn
+	if c.n < 0 {
+		return fmt.Errorf("ivm: %s: multiplicity of %s went negative (%d)", nd.label, t, c.n)
+	}
+	for _, ix := range nd.indexes {
+		ix.bump(c.t, dn)
+	}
+	if c.n == 0 {
+		delete(nd.rows, key)
+		for _, ix := range nd.indexes {
+			ix.drop(key, c.t)
+		}
+	}
+	return nil
+}
+
+// reset empties the node's state and indexes (rebuild path).
+func (nd *node) reset() {
+	nd.rows = make(map[string]*crow)
+	for _, ix := range nd.indexes {
+		ix.reset()
+	}
+}
+
+// delta is a signed multiset of tuples over one node's schema: the change
+// of that node's counted state within one batch. Counts may be negative
+// (retractions); rows whose count cancels to zero are removed eagerly so
+// that downstream steps never process no-ops.
+type delta struct {
+	schema *relation.Schema
+	rows   map[string]*drow
+}
+
+type drow struct {
+	t relation.Tuple
+	n int64
+}
+
+func newDelta(schema *relation.Schema) *delta {
+	return &delta{schema: schema, rows: make(map[string]*drow)}
+}
+
+// addKeyed accumulates dn onto the row with a precomputed key.
+func (d *delta) addKeyed(key string, t relation.Tuple, dn int64) {
+	if dn == 0 {
+		return
+	}
+	r := d.rows[key]
+	if r == nil {
+		d.rows[key] = &drow{t: t, n: dn}
+		return
+	}
+	r.n += dn
+	if r.n == 0 {
+		delete(d.rows, key)
+	}
+}
+
+// add accumulates dn onto the row for t.
+func (d *delta) add(t relation.Tuple, dn int64) {
+	d.addKeyed(rowKey(t), t, dn)
+}
+
+// isEmpty reports whether the delta carries no change (nil included).
+func (d *delta) isEmpty() bool { return d == nil || len(d.rows) == 0 }

@@ -1,0 +1,300 @@
+package ivm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// shadowApply recomputes the post-batch catalog the way the store does:
+// changes in order, deletes before inserts within one change.
+func shadowApply(t *testing.T, db *relation.Database, changes []Change) *relation.Database {
+	t.Helper()
+	rels := append([]*relation.Relation(nil), db.Relations()...)
+	for _, ch := range changes {
+		old := rels[ch.Relation]
+		del := relation.New(old.Schema())
+		for _, tu := range ch.Deletes {
+			del.MustInsert(tu)
+		}
+		next := relation.New(old.Schema())
+		for _, row := range old.Rows() {
+			if !del.Contains(row) {
+				next.MustInsert(row)
+			}
+		}
+		for _, tu := range ch.Inserts {
+			next.MustInsert(tu)
+		}
+		rels[ch.Relation] = next
+	}
+	out, err := relation.NewDatabase(rels...)
+	if err != nil {
+		t.Fatalf("shadow apply: %v", err)
+	}
+	return out
+}
+
+// randomTuple draws a tuple over the relation's arity from [0, domain).
+func randomTuple(rng *rand.Rand, arity, domain int) relation.Tuple {
+	vs := make([]int64, arity)
+	for i := range vs {
+		vs[i] = int64(rng.Intn(domain))
+	}
+	return relation.Ints(vs...)
+}
+
+// randomBatch draws 1–3 changes: deletes sampled from the current rows plus
+// some misses, inserts drawn fresh (some of which duplicate existing rows —
+// no-ops the effective-delta computation must drop).
+func randomBatch(rng *rand.Rand, db *relation.Database, domain int) []Change {
+	n := 1 + rng.Intn(3)
+	changes := make([]Change, 0, n)
+	for i := 0; i < n; i++ {
+		ri := rng.Intn(db.Len())
+		r := db.Relation(ri)
+		arity := r.Schema().Len()
+		ch := Change{Relation: ri}
+		for k := rng.Intn(4); k > 0; k-- {
+			if rows := r.Rows(); len(rows) > 0 && rng.Intn(3) > 0 {
+				ch.Deletes = append(ch.Deletes, rows[rng.Intn(len(rows))])
+			} else {
+				ch.Deletes = append(ch.Deletes, randomTuple(rng, arity, domain))
+			}
+		}
+		for k := rng.Intn(4); k > 0; k-- {
+			ch.Inserts = append(ch.Inserts, randomTuple(rng, arity, domain))
+		}
+		if len(ch.Inserts)+len(ch.Deletes) == 0 {
+			ch.Inserts = append(ch.Inserts, randomTuple(rng, arity, domain))
+		}
+		changes = append(changes, ch)
+	}
+	return changes
+}
+
+// TestDifferentialRandom is the tentpole invariant: over randomized schemes
+// (acyclic, cyclic, and disconnected) and randomized insert/delete batch
+// sequences, the delta-maintained view equals a from-scratch ⋈D recompute
+// after every batch.
+func TestDifferentialRandom(t *testing.T) {
+	const trials = 72
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		var db *relation.Database
+		var err error
+		switch trial % 4 {
+		case 1: // forced cyclic
+			h, herr := workload.CliqueScheme(3 + trial%2)
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			db, err = workload.RandomDatabase(rng, h, 8+rng.Intn(10), 3+rng.Intn(3))
+		case 3: // possibly disconnected: exercises the expression fallback
+			h, herr := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+				Relations: 2 + rng.Intn(3), Attrs: 6, MaxArity: 2,
+			})
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			db, err = workload.RandomDatabase(rng, h, 4+rng.Intn(5), 3)
+		default:
+			h, herr := workload.RandomScheme(rng, workload.RandomSchemeSpec{
+				Relations: 2 + rng.Intn(4), Attrs: 4 + rng.Intn(3), MaxArity: 3, Connected: true,
+			})
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			db, err = workload.RandomDatabase(rng, h, 6+rng.Intn(12), 3+rng.Intn(3))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Compile(db)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, db, err)
+		}
+		if err := v.Rebuild(db); err != nil {
+			t.Fatalf("trial %d: initial build: %v", trial, err)
+		}
+		if want := db.Join(); !v.Result().Equal(want) {
+			t.Fatalf("trial %d: initial build of %s: view has %d tuples, ⋈D has %d",
+				trial, db, v.ResultCount(), want.Len())
+		}
+		domain := 3 + rng.Intn(3)
+		for batch := 0; batch < 5; batch++ {
+			changes := randomBatch(rng, db, domain)
+			db = shadowApply(t, db, changes)
+			if _, err := v.Apply(changes, nil); err != nil {
+				t.Fatalf("trial %d batch %d: apply: %v", trial, batch, err)
+			}
+			want := db.Join()
+			if got := v.Result(); !got.Equal(want) {
+				t.Fatalf("trial %d batch %d: view diverged on %s:\nview:      %s\nrecompute: %s",
+					trial, batch, db, got, want)
+			}
+			if v.ResultCount() != want.Len() {
+				t.Fatalf("trial %d batch %d: ResultCount %d, want %d", trial, batch, v.ResultCount(), want.Len())
+			}
+		}
+	}
+}
+
+// TestDeletesRetractExactly drains one relation and expects an empty view:
+// multiplicity counting must retract every derivation.
+func TestDeletesRetractExactly(t *testing.T) {
+	db, err := workload.ChainDatabase(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Rebuild(db); err != nil {
+		t.Fatal(err)
+	}
+	if v.ResultCount() == 0 {
+		t.Fatal("chain view empty before deletes")
+	}
+	changes := []Change{{Relation: 1, Deletes: db.Relation(1).Rows()}}
+	stats, err := v.Apply(changes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ResultCount() != 0 {
+		t.Fatalf("view holds %d tuples after draining relation 1", v.ResultCount())
+	}
+	if stats.TuplesIn == 0 || stats.TuplesOut == 0 {
+		t.Fatalf("stats did not register the drain: %+v", stats)
+	}
+	// Reinserting restores the original result through the same delta path.
+	if _, err := v.Apply([]Change{{Relation: 1, Inserts: db.Relation(1).Rows()}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if want := db.Join(); !v.Result().Equal(want) {
+		t.Fatalf("view after drain+reinsert has %d tuples, want %d", v.ResultCount(), want.Len())
+	}
+}
+
+// TestNoOpBatch asserts no-op mutations (re-inserting present tuples,
+// deleting absent ones) propagate nothing.
+func TestNoOpBatch(t *testing.T) {
+	db, err := workload.ChainDatabase(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Rebuild(db); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := v.Apply([]Change{
+		{Relation: 0, Inserts: db.Relation(0).Rows()},                    // all present
+		{Relation: 1, Deletes: []relation.Tuple{relation.Ints(99, 100)}}, // absent
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TuplesIn != 0 || stats.StepRows != 0 {
+		t.Fatalf("no-op batch propagated work: %+v", stats)
+	}
+}
+
+// TestSafeSubjoinSkip feeds a semijoin-bearing view a reducer delta that
+// cannot flip any key's support and expects the skip counter to move.
+func TestSafeSubjoinSkip(t *testing.T) {
+	db, err := workload.DanglingChainDatabase(3, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, semijoins := v.OpCounts()
+	if semijoins == 0 {
+		t.Skip("derived program has no semijoins; skip condition unexercised")
+	}
+	if err := v.Rebuild(db); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate an existing middle-relation tuple's key: (v, v+1) exists for
+	// v in [0,10); adding (0, 1) again is a no-op, so instead add a parallel
+	// tuple (0, 2) — key attribute values already supported on both sides.
+	stats, err := v.Apply([]Change{{Relation: 1, Inserts: []relation.Tuple{relation.Ints(0, 2)}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReducerSkips == 0 {
+		t.Fatalf("expected at least one safe-subjoin skip, got stats %+v", stats)
+	}
+	// And the differential invariant still holds.
+	shadow := shadowApply(t, db, []Change{{Relation: 1, Inserts: []relation.Tuple{relation.Ints(0, 2)}}})
+	if want := shadow.Join(); !v.Result().Equal(want) {
+		t.Fatalf("view diverged after skip: %d tuples, want %d", v.ResultCount(), want.Len())
+	}
+}
+
+// TestBudgetAbortThenRebuild drives maintenance into a tuple budget abort
+// and asserts Rebuild restores the exact result — the serving layer's
+// stale-and-rebuilding path.
+func TestBudgetAbortThenRebuild(t *testing.T) {
+	db, err := workload.TriangleSpec{Nodes: 12, Edges: 60}.TriangleDatabase(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Rebuild(db); err != nil {
+		t.Fatal(err)
+	}
+	// Re-ingest the whole first relation after draining it, under a budget
+	// far too small for the resulting delta work.
+	changes := []Change{{Relation: 0, Deletes: db.Relation(0).Rows()}}
+	g := govern.New(govern.Limits{MaxTuples: 1})
+	_, err = v.Apply(changes, g)
+	if !errors.Is(err, govern.ErrTupleBudget) {
+		t.Fatalf("want ErrTupleBudget, got %v", err)
+	}
+	// State is now undefined; a rebuild from the true catalog recovers.
+	shadow := shadowApply(t, db, changes)
+	if err := v.Rebuild(shadow); err != nil {
+		t.Fatal(err)
+	}
+	if want := shadow.Join(); !v.Result().Equal(want) {
+		t.Fatalf("rebuild diverged: %d tuples, want %d", v.ResultCount(), want.Len())
+	}
+}
+
+// TestChangeValidation covers the malformed-change errors.
+func TestChangeValidation(t *testing.T) {
+	db, err := workload.ChainDatabase(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Rebuild(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Apply([]Change{{Relation: 9, Inserts: []relation.Tuple{relation.Ints(1, 2)}}}, nil); err == nil {
+		t.Fatal("out-of-range relation index accepted")
+	}
+	if _, err := v.Apply([]Change{{Relation: 0, Inserts: []relation.Tuple{relation.Ints(1)}}}, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := v.Rebuild(nil); err == nil {
+		t.Fatal("nil rebuild database accepted")
+	}
+}

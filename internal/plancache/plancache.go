@@ -66,6 +66,13 @@ type flight struct {
 	done chan struct{}
 	plan *engine.Plan
 	err  error
+	// invalidated is set (under the cache lock) by InvalidatePrefix while
+	// the computation is still in flight: the plan being derived reads the
+	// pre-invalidation catalog, so caching it after the invalidation would
+	// resurrect exactly the staleness the caller asked to drop. The result
+	// is still handed to every waiter — it is correct for the scheme — but
+	// it never enters the cache.
+	invalidated bool
 }
 
 // New returns an empty cache holding at most capacity plans
@@ -150,7 +157,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (*engine.Plan, error)) (
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if f.err == nil {
+	if f.err == nil && !f.invalidated {
 		c.put(key, f.plan)
 	}
 	c.mu.Unlock()
@@ -164,10 +171,11 @@ func (c *Cache) GetOrCompute(key string, compute func() (*engine.Plan, error)) (
 // strategies' plans for one database after an ingest mutates it — plans are
 // instance-dependent (optimizer search reads cardinalities), so they cannot
 // outlive the catalog version they were derived from. In-flight computations
-// for matching keys are left to finish; their results are cached and will be
-// invalidated by the next ingest, which is harmless: a plan derived from
-// either catalog version is still correct for the scheme, only its cost
-// estimate is stale.
+// for matching keys are marked invalidated: they finish and serve their
+// waiters (a plan derived from either catalog version is still correct for
+// the scheme), but their results are not cached — without the mark, a
+// compute that started before the ingest could complete after this call and
+// re-install a pre-ingest plan that no later invalidation would ever drop.
 func (c *Cache) InvalidatePrefix(prefix string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -177,6 +185,11 @@ func (c *Cache) InvalidatePrefix(prefix string) int {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			n++
+		}
+	}
+	for key, f := range c.inflight {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			f.invalidated = true
 		}
 	}
 	c.invalidations += int64(n)

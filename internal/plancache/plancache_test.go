@@ -283,3 +283,93 @@ func TestInvalidatePrefixKeepsLRUConsistent(t *testing.T) {
 		t.Error("y#1 should have been evicted as the least recently used")
 	}
 }
+
+// TestInvalidatePrefixMarksInFlight pins the invalidation/coalescing
+// ordering: a compute that starts before an InvalidatePrefix and finishes
+// after it must not cache its (pre-invalidation) plan. Without the in-flight
+// mark, the sequence compute-start → invalidate → put would re-install a
+// stale plan that no later invalidation ever drops.
+func TestInvalidatePrefixMarksInFlight(t *testing.T) {
+	c := New(4)
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := c.GetOrCompute("fp#auto", func() (*engine.Plan, error) {
+			close(computing)
+			<-release
+			return plan("stale"), nil
+		})
+		if err != nil {
+			t.Errorf("GetOrCompute: %v", err)
+		}
+	}()
+	<-computing
+	// The ingest lands mid-compute and invalidates the prefix.
+	c.InvalidatePrefix("fp#")
+	close(release)
+	<-done
+	if _, ok := c.Get("fp#auto"); ok {
+		t.Fatal("in-flight plan was cached despite the invalidation that raced its compute")
+	}
+	// A fresh compute after the invalidation caches normally.
+	if _, served, err := c.GetOrCompute("fp#auto", func() (*engine.Plan, error) {
+		return plan("fresh"), nil
+	}); err != nil || served {
+		t.Fatalf("fresh compute: served=%v err=%v", served, err)
+	}
+	if p, ok := c.Get("fp#auto"); !ok || p.Fingerprint != "fresh" {
+		t.Fatalf("post-invalidation plan not cached (got %v, %v)", p, ok)
+	}
+}
+
+// TestInvalidateRaceWithCoalescing hammers GetOrCompute (with coalescing
+// waiters) against concurrent InvalidatePrefix calls; run under -race. The
+// invariant checked per round: once an invalidation has happened after a
+// compute started, the key is either absent or holds a plan from a compute
+// that began after the last invalidation.
+func TestInvalidateRaceWithCoalescing(t *testing.T) {
+	c := New(8)
+	var epoch atomic.Int64 // bumped on every invalidation
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				started := epoch.Load()
+				p, _, err := c.GetOrCompute("fp#auto", func() (*engine.Plan, error) {
+					return &engine.Plan{Fingerprint: fmt.Sprint(started), Strategy: engine.StrategyDirect}, nil
+				})
+				if err != nil || p == nil {
+					t.Errorf("GetOrCompute: p=%v err=%v", p, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		epoch.Add(1)
+		c.InvalidatePrefix("fp#")
+		if i%10 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// After the final invalidation with all workers stopped, any cached plan
+	// must come from a compute that started at the current epoch — a stale
+	// epoch here means an in-flight result was cached across an invalidation.
+	final := epoch.Load()
+	c.InvalidatePrefix("fp#")
+	if p, ok := c.Get("fp#auto"); ok && p.Fingerprint != fmt.Sprint(final) {
+		t.Fatalf("cached plan from epoch %s survived invalidation at epoch %d", p.Fingerprint, final)
+	}
+}

@@ -19,6 +19,10 @@ import (
 //	GET  /v1/databases  list the catalog
 //	POST /v1/query      join a registered database
 //	POST /v1/ingest     apply batched inserts/deletes durably (WAL-backed)
+//	POST /v1/views      register a continuous query (materialized ⋈D view)
+//	GET  /v1/views      list registered views with maintenance stats
+//	GET  /v1/views/{id} one view: maintenance stats + materialized result
+//	DELETE /v1/views/{id} drop a view
 //	GET  /v1/stats      service + plan-cache + store counters
 //	GET  /v1/slow       slow-query log (trace drill-down included)
 //	GET  /metrics       Prometheus text exposition
@@ -120,6 +124,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/views", s.handleRegisterView)
+	mux.HandleFunc("GET /v1/views", s.handleListViews)
+	mux.HandleFunc("GET /v1/views/{id}", s.handleGetView)
+	mux.HandleFunc("DELETE /v1/views/{id}", s.handleDropView)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/slow", s.handleSlow)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -262,6 +270,83 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// viewRequest is the body of POST /v1/views.
+type viewRequest struct {
+	// ID names the view (unique; same character rules as database names).
+	ID string `json:"id"`
+	// Database is the registered catalog name the view joins.
+	Database string `json:"database"`
+	// MaxTuples / MaxIntermediateTuples bound one ingest batch's delta
+	// maintenance work for this view (0 = unlimited). Exceeding them marks
+	// the view stale and rebuilds it; the ingest itself still succeeds.
+	MaxTuples             int64 `json:"max_tuples,omitempty"`
+	MaxIntermediateTuples int64 `json:"max_intermediate_tuples,omitempty"`
+}
+
+// viewResponse is the body of GET /v1/views/{id}: the view's info and its
+// materialized result (possibly truncated by the max_result query
+// parameter).
+type viewResponse struct {
+	ViewInfo
+	Result          *relation.Relation `json:"result,omitempty"`
+	ResultTruncated bool               `json:"result_truncated,omitempty"`
+}
+
+func (s *Service) handleRegisterView(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req viewRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	info, err := s.RegisterView(store.ViewDef{
+		ID:                    req.ID,
+		Database:              req.Database,
+		MaxTuples:             req.MaxTuples,
+		MaxIntermediateTuples: req.MaxIntermediateTuples,
+	})
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleListViews(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Views())
+}
+
+func (s *Service) handleGetView(w http.ResponseWriter, r *http.Request) {
+	info, result, err := s.ViewResult(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := viewResponse{ViewInfo: info}
+	maxResult := 0
+	if q := r.URL.Query().Get("max_result"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &maxResult); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "max_result must be an integer")
+			return
+		}
+	}
+	resp.Result, resp.ResultTruncated = truncate(result, maxResult)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleDropView(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
+	if err := s.DropView(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
@@ -330,10 +415,12 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 // writeServiceError maps a service/engine/govern error to its HTTP status.
 func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrUnknownDatabase):
+	case errors.Is(err, ErrUnknownDatabase), errors.Is(err, ErrUnknownView):
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
-	case errors.Is(err, ErrDuplicateDatabase):
+	case errors.Is(err, ErrDuplicateDatabase), errors.Is(err, ErrDuplicateView):
 		writeError(w, http.StatusConflict, "conflict", err.Error())
+	case errors.Is(err, ErrViewStale):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())

@@ -33,6 +33,9 @@ type IngestResult struct {
 	// database changed (plans are instance-dependent: optimizer search
 	// reads cardinalities).
 	PlansInvalidated int `json:"plans_invalidated"`
+	// ViewsMaintained counts the registered views this batch's delta was
+	// propagated into before the batch was acknowledged.
+	ViewsMaintained int `json:"views_maintained"`
 }
 
 // AttachStore wires the durable store into the service: every database the
@@ -51,6 +54,12 @@ func (s *Service) AttachStore(st *store.Store) error {
 		if _, err := s.register(name, db); err != nil {
 			return fmt.Errorf("service: attach store: %w", err)
 		}
+	}
+	// Re-register the durable continuous queries and rebuild each from the
+	// recovered catalog; their materialized state is derivable and never
+	// persisted, so recovery is Compile + Rebuild per definition.
+	if err := s.attachViews(st); err != nil {
+		return err
 	}
 	s.store.Store(st)
 	return nil
@@ -108,7 +117,8 @@ func (s *Service) ingest(ctx context.Context, database string, batch store.Batch
 	}
 	// Serialize append + swap per entry: Apply acknowledges batches in WAL
 	// order, and holding ingestMu across the swap keeps the catalog pointer
-	// in that same order.
+	// in that same order — and, held across maintainViews, hands every
+	// registered view this batch's delta before any later batch's.
 	e.ingestMu.Lock()
 	applied, err := st.Apply(database, batch)
 	if err != nil {
@@ -116,6 +126,7 @@ func (s *Service) ingest(ctx context.Context, database string, batch store.Batch
 		return IngestResult{}, mapStoreError(err)
 	}
 	e.db.Store(applied.DB)
+	maintained := s.maintainViews(database, batch, applied.DB)
 	e.ingestMu.Unlock()
 	s.ingests.Add(1)
 
@@ -133,6 +144,7 @@ func (s *Service) ingest(ctx context.Context, database string, batch store.Batch
 		Tuples:           applied.DB.TotalTuples(),
 		WALBytes:         applied.WALBytes,
 		PlansInvalidated: invalidated,
+		ViewsMaintained:  maintained,
 	}, nil
 }
 

@@ -29,6 +29,10 @@ type serviceMetrics struct {
 	// append + fsync + catalog swap), in seconds.
 	ingests        *obs.CounterVec
 	ingestDuration *obs.Histogram
+	// viewMaintenance is the per-view delta-application latency (one
+	// observation per view per ingest batch), rebuild included when the
+	// batch triggered one.
+	viewMaintenance *obs.Histogram
 }
 
 // newServiceMetrics builds and registers the full series set against s.
@@ -52,6 +56,8 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"status"),
 		ingestDuration: r.Histogram("joind_ingest_duration_seconds",
 			"End-to-end ingest latency: WAL append, fsync, and catalog swap.", nil),
+		viewMaintenance: r.Histogram("joind_view_maintenance_seconds",
+			"Per-view delta-maintenance latency per ingest batch (rebuild included when triggered).", nil),
 	}
 
 	r.GaugeFunc("joind_in_flight_queries",
@@ -123,6 +129,37 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	r.CounterFunc("joind_ladder_degradations_total",
 		"Cached-plan executions that blew their budget and re-ran the degradation ladder.",
 		func() float64 { return float64(s.degraded.Load()) })
+
+	// Continuous-query (view) series. Counters read the service's aggregate
+	// atomics; the gauges poll the registry under its lock.
+	r.GaugeFunc("joind_views_registered",
+		"Continuous queries (materialized views) currently registered.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.views))
+		})
+	r.GaugeFunc("joind_views_stale",
+		"Views whose last maintenance failed and whose rebuild has not succeeded yet.",
+		func() float64 { return float64(s.staleViews()) })
+	r.CounterFunc("joind_view_delta_batches_total",
+		"Delta batches applied to views (one per view per acknowledged ingest batch).",
+		func() float64 { return float64(s.viewDeltaBatches.Load()) })
+	r.CounterFunc("joind_view_delta_tuples_in_total",
+		"Effective base-relation delta tuples propagated into views.",
+		func() float64 { return float64(s.viewTuplesIn.Load()) })
+	r.CounterFunc("joind_view_delta_tuples_out_total",
+		"Result-delta tuples emitted by views (how much the materialized results changed).",
+		func() float64 { return float64(s.viewTuplesOut.Load()) })
+	r.CounterFunc("joind_view_reducer_skips_total",
+		"Semijoin reducer re-runs skipped under the Safe-Subjoins condition.",
+		func() float64 { return float64(s.viewReducerSkips.Load()) })
+	r.CounterFunc("joind_view_full_rebuilds_total",
+		"Full from-catalog view rebuilds (registration, recovery, and budget-abort repair).",
+		func() float64 { return float64(s.viewRebuilds.Load()) })
+	r.CounterFunc("joind_view_budget_aborts_total",
+		"View maintenance runs aborted by the view's tuple budget (each triggers a rebuild).",
+		func() float64 { return float64(s.viewBudgetAborts.Load()) })
 
 	r.CounterFunc("joind_plan_cache_invalidations_total",
 		"Plan-cache entries dropped because their database was mutated by ingest.",

@@ -227,6 +227,22 @@ type Stats struct {
 	Ready bool `json:"ready"`
 	// Ingests counts acknowledged ingest batches.
 	Ingests int64 `json:"ingests"`
+	// WALRecords, Snapshots, and Invalidations surface the headline durable
+	// and cache-coherence counters at the top level for scripting: WAL
+	// records appended, snapshot files written, and plan-cache entries
+	// dropped by ingest invalidation. (The full store breakdown stays under
+	// "store".)
+	WALRecords    int64 `json:"wal_records"`
+	Snapshots     int64 `json:"snapshots"`
+	Invalidations int64 `json:"invalidations"`
+	// Views counts registered continuous queries; ViewsStale how many are
+	// awaiting a successful rebuild. The ViewDelta* / ViewRebuilds /
+	// ViewReducerSkips counters aggregate maintenance work across all views.
+	Views            int   `json:"views"`
+	ViewsStale       int   `json:"views_stale"`
+	ViewDeltaBatches int64 `json:"view_delta_batches"`
+	ViewRebuilds     int64 `json:"view_rebuilds"`
+	ViewReducerSkips int64 `json:"view_reducer_skips"`
 	// Store is the durable-store snapshot, nil when no store is attached.
 	Store *store.Stats `json:"store,omitempty"`
 }
@@ -240,8 +256,9 @@ type Service struct {
 	metrics *serviceMetrics
 	slowLog *obs.SlowLog // nil when SlowQueryThreshold is 0
 
-	mu  sync.RWMutex
-	dbs map[string]*catalogEntry
+	mu    sync.RWMutex
+	dbs   map[string]*catalogEntry
+	views map[string]*viewEntry
 
 	// store is the durable mutation path (nil = in-memory only; ingest is
 	// then refused with ErrReadOnly). Attached once via AttachStore.
@@ -257,6 +274,10 @@ type Service struct {
 
 	queries, succeeded, rejected, aborted, failed, degraded atomic.Int64
 	workersDegraded, ingests                                atomic.Int64
+
+	viewDeltaBatches, viewTuplesIn, viewTuplesOut atomic.Int64
+	viewReducerSkips, viewRebuilds                atomic.Int64
+	viewBudgetAborts                              atomic.Int64
 }
 
 // New builds a service from cfg (zero fields get defaults).
@@ -267,6 +288,7 @@ func New(cfg Config) *Service {
 		cache: plancache.New(cfg.PlanCacheSize),
 		slots: make(chan struct{}, cfg.Workers),
 		dbs:   make(map[string]*catalogEntry),
+		views: make(map[string]*viewEntry),
 	}
 	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
 	s.workersRemaining.Store(cfg.WorkerBudget)
@@ -711,6 +733,7 @@ func strategyName(s string) string {
 func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	n := len(s.dbs)
+	nviews := len(s.views)
 	s.mu.RUnlock()
 	remaining := int64(-1)
 	if s.cfg.GlobalMaxTuples > 0 {
@@ -725,9 +748,22 @@ func (s *Service) Stats() Stats {
 		snap := st.Stats()
 		storeStats = &snap
 	}
+	cacheStats := s.cache.Stats()
+	var walRecords, snapshots int64
+	if storeStats != nil {
+		walRecords, snapshots = storeStats.WALAppends, storeStats.SnapshotWrites
+	}
 	return Stats{
 		Ready:                 s.ready.Load(),
 		Ingests:               s.ingests.Load(),
+		WALRecords:            walRecords,
+		Snapshots:             snapshots,
+		Invalidations:         cacheStats.Invalidations,
+		Views:                 nviews,
+		ViewsStale:            s.staleViews(),
+		ViewDeltaBatches:      s.viewDeltaBatches.Load(),
+		ViewRebuilds:          s.viewRebuilds.Load(),
+		ViewReducerSkips:      s.viewReducerSkips.Load(),
 		Store:                 storeStats,
 		Databases:             n,
 		Workers:               s.cfg.Workers,
@@ -743,6 +779,6 @@ func (s *Service) Stats() Stats {
 		WorkersDegraded:       s.workersDegraded.Load(),
 		WorkerBudgetRemaining: workersRemaining,
 		GlobalTuplesRemaining: remaining,
-		PlanCache:             s.cache.Stats(),
+		PlanCache:             cacheStats,
 	}
 }

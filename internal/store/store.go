@@ -122,6 +122,7 @@ type Store struct {
 
 	mu     sync.Mutex
 	dbs    map[string]*dbState
+	views  []ViewDef
 	closed bool
 
 	checkpointCh chan *dbState
@@ -189,6 +190,11 @@ func Open(dir string, opt Options) (*Store, error) {
 			s.recoveredDatabases++
 		}
 	}
+	defs, err := loadViews(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.views = defs
 	s.wg.Add(1)
 	go s.checkpointLoop()
 	if opt.Fsync == FsyncInterval {

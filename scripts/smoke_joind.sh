@@ -57,6 +57,23 @@ if [ "$code" != "201" ]; then
     exit 1
 fi
 
+# Register a continuous query (materialized view) over it: built immediately,
+# maintained incrementally on every ingest below, durable across restarts.
+code=$(curl -sS -o /tmp/joind_view.json -w '%{http_code}' \
+    -X POST "$BASE/v1/views" \
+    -H 'Content-Type: application/json' \
+    -d '{"id":"tri-view","database":"triangle"}')
+if [ "$code" != "201" ]; then
+    echo "view register: expected 201, got $code:" >&2
+    cat /tmp/joind_view.json >&2
+    exit 1
+fi
+grep -q '"result_count":3' /tmp/joind_view.json || {
+    echo "view register: expected the initial build to hold 3 tuples:" >&2
+    cat /tmp/joind_view.json >&2
+    exit 1
+}
+
 # Query it twice: both must be 200 with a nonempty result, and the second
 # must be a plan-cache hit.
 query() {
@@ -84,11 +101,20 @@ grep -q '"cache_hit":true' /tmp/joind_query2.json || {
     exit 1
 }
 
-# Stats must show the hit too.
-curl -fsS "$BASE/v1/stats" | grep -q '"hits":1' || {
+# Stats must show the hit too, and surface the durable/view counters at the
+# top level.
+curl -fsS "$BASE/v1/stats" >/tmp/joind_stats.json
+grep -q '"hits":1' /tmp/joind_stats.json || {
     echo "stats did not record the plan-cache hit" >&2
     exit 1
 }
+for field in '"wal_records":' '"snapshots":' '"invalidations":' '"views":1'; do
+    grep -q "$field" /tmp/joind_stats.json || {
+        echo "stats: missing expected field $field:" >&2
+        cat /tmp/joind_stats.json >&2
+        exit 1
+    }
+done
 
 # With the slow log enabled, query responses carry trace IDs.
 grep -q '"trace_id":"' /tmp/joind_query1.json || {
@@ -114,6 +140,24 @@ fi
 grep -q '"inserted":3' /tmp/joind_ingest.json || {
     echo "ingest: expected 3 effective inserts:" >&2
     cat /tmp/joind_ingest.json >&2
+    exit 1
+}
+grep -q '"views_maintained":1' /tmp/joind_ingest.json || {
+    echo "ingest: expected the batch to maintain 1 view:" >&2
+    cat /tmp/joind_ingest.json >&2
+    exit 1
+}
+# The view was delta-maintained before the batch was acknowledged: it already
+# serves the new triangle, with exactly one delta batch applied.
+curl -fsS "$BASE/v1/views/tri-view" >/tmp/joind_view2.json
+grep -q '"result_count":4' /tmp/joind_view2.json || {
+    echo "view after ingest: expected result_count 4:" >&2
+    cat /tmp/joind_view2.json >&2
+    exit 1
+}
+grep -q '"delta_batches":1' /tmp/joind_view2.json || {
+    echo "view after ingest: expected delta_batches 1 (no rebuild):" >&2
+    cat /tmp/joind_view2.json >&2
     exit 1
 }
 code=$(query /tmp/joind_query3.json)
@@ -142,6 +186,12 @@ for series in \
     'joind_wal_bytes_total' \
     'joind_snapshot_writes_total' \
     'joind_plan_cache_invalidations_total 1' \
+    'joind_views_registered 1' \
+    'joind_views_stale 0' \
+    'joind_view_delta_batches_total 1' \
+    'joind_view_delta_tuples_in_total 3' \
+    'joind_view_full_rebuilds_total 1' \
+    'joind_view_maintenance_seconds_count 1' \
     'joind_recovery_replayed_records 0'; do
     grep -qF "$series" /tmp/joind_metrics.txt || {
         echo "metrics: missing expected series/sample: $series" >&2
@@ -196,6 +246,13 @@ curl -fsS "$BASE/metrics" | grep -qF 'joind_recovery_replayed_records 0' || {
     echo "graceful restart: expected zero WAL replay (clean final checkpoint)" >&2
     exit 1
 }
+# The view definition is durable: recovered, rebuilt, and current.
+curl -fsS "$BASE/v1/views/tri-view" >/tmp/joind_view3.json
+grep -q '"result_count":4' /tmp/joind_view3.json || {
+    echo "view after graceful restart: expected recovered view with result_count 4:" >&2
+    cat /tmp/joind_view3.json >&2
+    exit 1
+}
 
 # Crash restart: ingest another triangle (20,21,22), kill -9 before any
 # checkpoint can run, and assert the restart replays the WAL record.
@@ -227,5 +284,12 @@ grep -qF 'joind_recovery_replayed_records 1' /tmp/joind_metrics2.txt || {
     grep 'joind_recovery' /tmp/joind_metrics2.txt >&2 || true
     exit 1
 }
+# The recovered view reflects the replayed ingest.
+curl -fsS "$BASE/v1/views/tri-view" >/tmp/joind_view4.json
+grep -q '"result_count":5' /tmp/joind_view4.json || {
+    echo "view after crash restart: expected recovered view with result_count 5:" >&2
+    cat /tmp/joind_view4.json >&2
+    exit 1
+}
 
-echo "joind smoke: OK (ready gate, durable register + ingest, cache hit, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
+echo "joind smoke: OK (ready gate, durable register + ingest, continuous query maintenance + recovery, cache hit, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
