@@ -39,6 +39,7 @@ func main() {
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "write the EX7 speedup table as JSON to this file when EX7 runs (\"\" = skip)")
 	wcojJSON := flag.String("wcoj-json", "BENCH_wcoj.json", "write the EX8 program-vs-triejoin table as JSON to this file when EX8 runs (\"\" = skip)")
 	ivmJSON := flag.String("ivm-json", "BENCH_ivm.json", "write the EX9 delta-apply-vs-recompute table as JSON to this file when EX9 runs (\"\" = skip)")
+	columnarJSON := flag.String("columnar-json", "BENCH_columnar.json", "write the EX10 columnar-vs-tuple-map table as JSON to this file when EX10 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -70,12 +71,14 @@ func main() {
 	ex7Scale, ex7Trials := int64(20), 3
 	ex8Trials := 3
 	ex9Trials := 3
+	ex10Trials := 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
 		ex7Scale, ex7Trials = 12, 2
 		ex8Trials = 1
 		ex9Trials = 1
+		ex10Trials = 2
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -125,6 +128,15 @@ func main() {
 			table, bench, err := experiments.IVMComparison(*seed, ex9Trials)
 			if err == nil && *ivmJSON != "" {
 				if werr := writeIVMBench(*ivmJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
+		{"EX10", func() (*experiments.Table, error) {
+			table, bench, err := experiments.ColumnarComparison(*seed, ex10Trials)
+			if err == nil && *columnarJSON != "" {
+				if werr := writeColumnarBench(*columnarJSON, bench); werr != nil {
 					return nil, werr
 				}
 			}
@@ -240,6 +252,24 @@ func writeWCOJBench(path string, bench *experiments.WCOJBenchResult) error {
 // writeIVMBench stores the EX9 machine-readable delta-vs-recompute table
 // (-ivm-json; "-" = stdout).
 func writeIVMBench(path string, bench *experiments.IVMBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
+}
+
+// writeColumnarBench stores the EX10 machine-readable columnar-vs-tuple-map
+// table (-columnar-json; "-" = stdout).
+func writeColumnarBench(path string, bench *experiments.ColumnarBenchResult) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/govern"
+	"repro/internal/hypergraph"
+	"repro/internal/workload"
+)
+
+// The columnar strategy's differential gauntlet: over ≥100 random schemes
+// (cyclic clique schemes force-included), the columnar evaluator must agree
+// with every other applicable strategy on the result, and with the
+// tuple-map expression evaluator — its oracle, same tree, same operators —
+// on cost, governed charges, and the exact budget-abort boundary. This is
+// what licenses StrategyColumnar as the first rung of the degradation
+// ladder: an aborted columnar attempt proves the tuple-map evaluation
+// would have aborted at the same tuple.
+
+func TestColumnarDifferentialGauntlet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2029))
+	cyclic := 0
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		var h *hypergraph.Hypergraph
+		var err error
+		if trial%3 == 0 {
+			// Random draws at these sizes are mostly acyclic; every third
+			// trial uses a clique scheme — guaranteed cyclic — so the CPF
+			// search space and the ladder's home turf are both exercised.
+			h, err = workload.CliqueScheme(3 + rng.Intn(2))
+		} else {
+			h, err = workload.RandomScheme(rng, workload.RandomSchemeSpec{
+				Relations: 2 + rng.Intn(4), Attrs: 5, MaxArity: 3, Connected: rng.Intn(2) == 0,
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Acyclic() {
+			cyclic++
+		}
+		db, err := workload.RandomDatabase(rng, h, 1+rng.Intn(14), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Join()
+		crep, err := Join(db, Options{
+			Strategy: StrategyColumnar,
+			Limits:   govern.Limits{MaxTuples: 1 << 40},
+		})
+		if err != nil {
+			t.Fatalf("trial %d columnar: %v on %s", trial, err, h)
+		}
+		if !crep.Result.Equal(want) {
+			t.Fatalf("trial %d: columnar disagrees with the reference fold on %s", trial, h)
+		}
+
+		// The expression evaluator over the same optimizer search is the
+		// exact oracle: same tree, so same result, same §2.3 cost, same
+		// governed tuple total.
+		erep, err := Join(db, Options{
+			Strategy: StrategyExpression,
+			Limits:   govern.Limits{MaxTuples: 1 << 40},
+		})
+		if err != nil {
+			t.Fatalf("trial %d expression: %v on %s", trial, err, h)
+		}
+		if !crep.Result.Equal(erep.Result) {
+			t.Fatalf("trial %d: columnar and expression results differ on %s", trial, h)
+		}
+		if crep.Cost != erep.Cost {
+			t.Fatalf("trial %d: columnar cost %d, expression cost %d on %s",
+				trial, crep.Cost, erep.Cost, h)
+		}
+		if crep.Produced != erep.Produced {
+			t.Fatalf("trial %d: columnar charged %d tuples, expression %d on %s",
+				trial, crep.Produced, erep.Produced, h)
+		}
+
+		// Every other applicable strategy must agree on the result too.
+		for _, s := range strategiesFor(h) {
+			rep, err := Join(db, Options{Strategy: s})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v on %s", trial, s, err, h)
+			}
+			if !rep.Result.Equal(crep.Result) {
+				t.Fatalf("trial %d: %s disagrees with columnar on %s", trial, s, h)
+			}
+		}
+	}
+	if cyclic < 20 {
+		t.Fatalf("only %d/%d trials drew cyclic schemes; the gauntlet needs both kinds", cyclic, trials)
+	}
+}
+
+// TestColumnarAbortBoundaryMatchesExpression pins the abort boundary: with
+// CheckEvery 1, a budget of exactly the expression evaluator's charged
+// total succeeds for both strategies, and one tuple less aborts both with
+// govern.ErrTupleBudget.
+func TestColumnarAbortBoundaryMatchesExpression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2030))
+	tried := 0
+	for trial := 0; tried < 25; trial++ {
+		if trial > 500 {
+			t.Fatal("could not generate enough schemes with nonzero charges")
+		}
+		h, err := workload.CliqueScheme(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := workload.RandomDatabase(rng, h, 4+rng.Intn(12), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Join(db, Options{
+			Strategy: StrategyExpression,
+			Limits:   govern.Limits{MaxTuples: 1 << 40, CheckEvery: 1},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := base.Produced
+		if total == 0 {
+			continue
+		}
+		tried++
+		for _, s := range []Strategy{StrategyExpression, StrategyColumnar} {
+			if _, err := Join(db, Options{
+				Strategy: s,
+				Limits:   govern.Limits{MaxTuples: total, CheckEvery: 1},
+			}); err != nil {
+				t.Fatalf("trial %d %s: budget == charged total must succeed, got %v", trial, s, err)
+			}
+			rep, err := Join(db, Options{
+				Strategy: s,
+				Limits:   govern.Limits{MaxTuples: total - 1, CheckEvery: 1},
+			})
+			if !errors.Is(err, govern.ErrTupleBudget) {
+				t.Fatalf("trial %d %s: budget == total-1 must abort with ErrTupleBudget, got %v", trial, s, err)
+			}
+			if rep != nil {
+				t.Fatalf("trial %d %s: abort leaked a report", trial, s)
+			}
+		}
+	}
+}
+
+// TestColumnarPlanRoundTrip drives the serving path: a plan derived once
+// with PlanFor(StrategyColumnar) executes correctly — the shape the joind
+// plan cache reuses across requests.
+func TestColumnarPlanRoundTrip(t *testing.T) {
+	db := example3DB(t, 4)
+	want := db.Join()
+	plan, err := PlanFor(db, Options{Strategy: StrategyColumnar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != StrategyColumnar {
+		t.Fatalf("plan strategy = %s, want columnar", plan.Strategy)
+	}
+	if plan.Tree == nil {
+		t.Fatal("columnar plan has no tree")
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := ExecutePlan(db, plan, Options{Limits: govern.Limits{MaxTuples: 1 << 40}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Strategy != StrategyColumnar || !rep.Result.Equal(want) {
+			t.Fatalf("execution %d: strategy %s, %d tuples (want columnar, %d)",
+				i, rep.Strategy, rep.Result.Len(), want.Len())
+		}
+		if rep.Produced == 0 {
+			t.Fatalf("execution %d: no governed charges recorded", i)
+		}
+	}
+}
+
+// TestParseColumnarStrategy pins the CLI/service-facing name.
+func TestParseColumnarStrategy(t *testing.T) {
+	s, err := ParseStrategy("columnar")
+	if err != nil || s != StrategyColumnar {
+		t.Fatalf("ParseStrategy(columnar) = %v, %v", s, err)
+	}
+}

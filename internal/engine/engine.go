@@ -52,6 +52,15 @@ const (
 	// cyclic schemes where Example 3 makes every CPF expression unboundedly
 	// suboptimal, this is the backend built for the job.
 	StrategyWCOJ
+	// StrategyColumnar evaluates the cheapest Cartesian-product-free join
+	// expression through the columnar batch kernels: leaves are
+	// dictionary-encoded into column blocks once, every join runs the
+	// vectorized code-remapping kernel, and only the root decodes back to
+	// tuples. Results, §2.3 costs, and governor charges are identical to
+	// StrategyExpression — the differential gauntlet enforces it — so the
+	// tuple-map operators remain the checked oracle while this is the fast
+	// path.
+	StrategyColumnar
 )
 
 // String names the strategy.
@@ -71,6 +80,8 @@ func (s Strategy) String() string {
 		return "direct"
 	case StrategyWCOJ:
 		return "wcoj"
+	case StrategyColumnar:
+		return "columnar"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -303,6 +314,8 @@ func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy
 		rep, err = joinDirect(db, h, opts, gov)
 	case StrategyWCOJ:
 		rep, err = joinWCOJ(db, h, opts, gov)
+	case StrategyColumnar:
+		rep, err = joinColumnar(db, h, opts, gov)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", strat)
 	}
@@ -361,19 +374,22 @@ func stepTimings(trace []program.Step) []StepTiming {
 
 // DegradationLadder returns the strategy ladder governed Auto execution
 // climbs for the given scheme, cheapest machinery first. On cyclic schemes
-// it is the classical CPF expression, then fixpoint semijoin reduction
-// followed by the cheapest CPF expression, then the worst-case-optimal
-// Leapfrog Triejoin — which materializes no pairwise intermediate at all,
-// exactly what blew the earlier rungs — and finally the paper's derived
-// program, whose semijoin-bounded heads (Theorem 2 caps its cost at r(a+5)
-// times the optimum) make it the most conservative machinery of all. On
-// acyclic schemes the full-reducer pipeline is already monotone; only the
-// program route remains behind it.
+// it is the cheapest CPF expression through the columnar batch kernels
+// (identical charges to StrategyExpression, so nothing is lost by leading
+// with the faster evaluator — an aborted columnar attempt proves the
+// tuple-map evaluation of the same tree would abort at the same tuple),
+// then fixpoint semijoin reduction followed by the cheapest CPF expression,
+// then the worst-case-optimal Leapfrog Triejoin — which materializes no
+// pairwise intermediate at all, exactly what blew the earlier rungs — and
+// finally the paper's derived program, whose semijoin-bounded heads
+// (Theorem 2 caps its cost at r(a+5) times the optimum) make it the most
+// conservative machinery of all. On acyclic schemes the full-reducer
+// pipeline is already monotone; only the program route remains behind it.
 func DegradationLadder(h *hypergraph.Hypergraph) []Strategy {
 	if h.Acyclic() {
 		return []Strategy{StrategyAcyclic, StrategyProgram}
 	}
-	return []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyWCOJ, StrategyProgram}
+	return []Strategy{StrategyColumnar, StrategyReduceThenJoin, StrategyWCOJ, StrategyProgram}
 }
 
 // degradable reports whether an attempt's failure should fall through to
@@ -515,6 +531,44 @@ func joinExpression(db *relation.Database, h *hypergraph.Hypergraph, opts Option
 		Cost:     int64(cost),
 		Plan:     tree.String(h),
 		Notes:    []string{"optimized by " + how},
+	}, nil
+}
+
+// joinColumnar evaluates the same cheapest CPF expression as
+// joinExpression, but through the vectorized columnar kernels: dictionary
+// encoding at the leaves, code-remapping batch joins at every node, one
+// decode at the root. Cost and governor charges match joinExpression
+// exactly.
+func joinColumnar(db *relation.Database, h *hypergraph.Hypergraph, opts Options, gov *govern.Governor) (*Report, error) {
+	space := optimizer.SpaceCPF
+	if !h.Connected(h.Full()) {
+		space = optimizer.SpaceAll
+	}
+	var tree *jointree.Tree
+	var how string
+	if err := tracedPhase(gov, obs.KindPlan, "optimize expression", func() (err error) {
+		tree, how, err = bestTree(db, h, opts.Budget, space)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var out *relation.Relation
+	var cost int
+	if err := tracedPhase(gov, obs.KindEval, "evaluate columnar expression", func() (err error) {
+		out, cost, err = tree.EvalColumnarGoverned(db, gov)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return &Report{
+		Result:   out,
+		Strategy: StrategyColumnar,
+		Cost:     int64(cost),
+		Plan:     tree.String(h),
+		Notes: []string{
+			"optimized by " + how,
+			"columnar kernels: dictionary-encoded blocks, code-remapped batch joins",
+		},
 	}, nil
 }
 

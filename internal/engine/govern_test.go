@@ -14,8 +14,9 @@ import (
 )
 
 // ladderBudget sits between the program route's produced tuples (~7.1k at
-// q=10) and the classical routes' (~25.5k for the CPF expression, 50k for
-// direct's first join), so both classical rungs of the ladder blow it.
+// q=10) and the classical routes' (~25.5k for the CPF expression — and for
+// the columnar rung, which charges identically — 50k for direct's first
+// join), so both expression-shaped rungs of the ladder blow it.
 // The leapfrog-triejoin rung charges only the trie builds plus the output
 // (~600 tuples here — no pairwise intermediate exists to charge), so it is
 // the first rung that fits.
@@ -49,7 +50,7 @@ func TestDirectAbortsOnTupleBudget(t *testing.T) {
 
 func TestExplicitStrategiesAbortHard(t *testing.T) {
 	db := example3DB(t, 10)
-	for _, s := range []Strategy{StrategyExpression, StrategyReduceThenJoin, StrategyDirect} {
+	for _, s := range []Strategy{StrategyExpression, StrategyColumnar, StrategyReduceThenJoin, StrategyDirect} {
 		rep, err := Join(db, Options{Strategy: s, Limits: govern.Limits{MaxTuples: ladderBudget}})
 		if rep != nil || !errors.Is(err, govern.ErrTupleBudget) {
 			t.Errorf("%s: want hard ErrTupleBudget abort, got rep=%v err=%v", s, rep, err)
@@ -83,7 +84,7 @@ func TestAutoLadderDegradesToWCOJ(t *testing.T) {
 	if len(falls) != 2 {
 		t.Fatalf("want 2 degradation notes, got %d: %q", len(falls), rep.Notes)
 	}
-	if !strings.Contains(falls[0], StrategyExpression.String()) ||
+	if !strings.Contains(falls[0], StrategyColumnar.String()) ||
 		!strings.Contains(falls[1], StrategyReduceThenJoin.String()) {
 		t.Errorf("fallback chain out of order: %q", falls)
 	}
@@ -118,7 +119,7 @@ func TestAutoLadderDegradesToProgram(t *testing.T) {
 	if len(falls) != 3 {
 		t.Fatalf("want 3 degradation notes, got %d: %q", len(falls), rep.Notes)
 	}
-	if !strings.Contains(falls[0], StrategyExpression.String()) ||
+	if !strings.Contains(falls[0], StrategyColumnar.String()) ||
 		!strings.Contains(falls[1], StrategyReduceThenJoin.String()) ||
 		!strings.Contains(falls[2], StrategyWCOJ.String()) {
 		t.Errorf("fallback chain out of order: %q", falls)
@@ -136,9 +137,9 @@ func TestAutoWithAmpleBudgetSkipsLadderNoise(t *testing.T) {
 			t.Errorf("unexpected degradation note with an ample budget: %q", n)
 		}
 	}
-	if rep.Strategy != StrategyExpression {
+	if rep.Strategy != StrategyColumnar {
 		// First rung of the cyclic ladder should win outright.
-		t.Errorf("ample budget landed on %s, want %s", rep.Strategy, StrategyExpression)
+		t.Errorf("ample budget landed on %s, want %s", rep.Strategy, StrategyColumnar)
 	}
 }
 

@@ -70,6 +70,7 @@ func Strategies() []Strategy {
 	return []Strategy{
 		StrategyAuto, StrategyProgram, StrategyExpression,
 		StrategyReduceThenJoin, StrategyAcyclic, StrategyDirect, StrategyWCOJ,
+		StrategyColumnar,
 	}
 }
 
@@ -155,7 +156,7 @@ func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
 	case StrategyWCOJ:
 		p.VarOrder = wcoj.VariableOrder(ch)
 		p.Notes = append(p.Notes, "variable order derived greedily: connected prefixes first, ties to the attribute on most edges")
-	case StrategyExpression, StrategyReduceThenJoin:
+	case StrategyExpression, StrategyReduceThenJoin, StrategyColumnar:
 		space := optimizer.SpaceCPF
 		if !ch.Connected(ch.Full()) {
 			space = optimizer.SpaceAll
@@ -267,6 +268,22 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (rep *Report, 
 			Strategy: plan.Strategy,
 			Cost:     int64(cost),
 			Plan:     plan.Tree.String(ch),
+		}
+	case StrategyColumnar:
+		var out *relation.Relation
+		var cost int
+		if err := tracedPhase(gov, obs.KindEval, "evaluate columnar expression", func() (err error) {
+			out, cost, err = plan.Tree.EvalColumnarGoverned(cdb, gov)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		rep = &Report{
+			Result:   out,
+			Strategy: StrategyColumnar,
+			Cost:     int64(cost),
+			Plan:     plan.Tree.String(ch),
+			Notes:    []string{"columnar kernels: dictionary-encoded blocks, code-remapped batch joins"},
 		}
 	case StrategyReduceThenJoin:
 		var red *PairwiseReduction

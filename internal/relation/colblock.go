@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColBlock is the columnar twin of Relation: the same set of tuples stored
+// column-major with per-column dictionary encoding. Each column keeps a
+// sorted dictionary of its distinct values and one uint32 code per row, so
+// row i of column c decodes as Dict(c)[Codes(c)[i]]. Because every
+// dictionary is sorted by Value.Compare, code order within a column is
+// value order — the property the wcoj trie builder and the vectorized
+// kernels exploit to compare and sort rows on integers instead of Values.
+//
+// A ColBlock built by FromRelation has minimal dictionaries (every entry is
+// referenced); kernel outputs share their inputs' dictionaries by reference
+// and may leave entries unreferenced. Both forms satisfy the invariants the
+// fuzz target checks: strictly sorted dictionaries, every code in range,
+// and all columns the same length. ColBlocks are immutable once built and
+// share dictionaries freely, so they must never be mutated in place.
+type ColBlock struct {
+	schema *Schema
+	cols   []column
+	n      int
+}
+
+// column is one dictionary-encoded column: dict is sorted strictly
+// ascending by Value.Compare; codes holds one index into dict per row.
+type column struct {
+	dict  []Value
+	codes []uint32
+}
+
+// FromRelation encodes r as a ColBlock with minimal per-column
+// dictionaries. The block holds the same tuple set in r's row order.
+func FromRelation(r *Relation) *ColBlock {
+	n := r.Len()
+	b := &ColBlock{schema: r.schema, cols: make([]column, r.schema.Len()), n: n}
+	rows := r.Rows()
+	for c := range b.cols {
+		ids := make(map[Value]uint32, 16)
+		var dict []Value
+		codes := make([]uint32, n)
+		for i, row := range rows {
+			v := row[c]
+			id, ok := ids[v]
+			if !ok {
+				id = uint32(len(dict))
+				ids[v] = id
+				dict = append(dict, v)
+			}
+			codes[i] = id
+		}
+		// Sort the dictionary and remap the provisional first-seen codes to
+		// ranks, so code order equals value order.
+		rank := sortDict(dict)
+		if rank != nil {
+			for i, code := range codes {
+				codes[i] = rank[code]
+			}
+		}
+		b.cols[c] = column{dict: dict, codes: codes}
+	}
+	return b
+}
+
+// sortDict sorts dict ascending in place and returns old-code → new-code,
+// or nil when the dictionary was already sorted (the common case for
+// generated integer data inserted in order).
+func sortDict(dict []Value) []uint32 {
+	sorted := true
+	for i := 1; i < len(dict); i++ {
+		if dict[i-1].Compare(dict[i]) >= 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
+	type entry struct {
+		v   Value
+		old uint32
+	}
+	entries := make([]entry, len(dict))
+	for i, v := range dict {
+		entries[i] = entry{v, uint32(i)}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v.Compare(entries[j].v) < 0 })
+	rank := make([]uint32, len(dict))
+	for newCode, e := range entries {
+		dict[newCode] = e.v
+		rank[e.old] = uint32(newCode)
+	}
+	return rank
+}
+
+// ToRelation decodes the block back into a tuple-map Relation over the same
+// schema. It is the inverse of FromRelation up to row order (both sides are
+// sets).
+func (b *ColBlock) ToRelation() *Relation {
+	r := New(b.schema)
+	for i := 0; i < b.n; i++ {
+		row := make(Tuple, len(b.cols))
+		for c := range b.cols {
+			col := &b.cols[c]
+			row[c] = col.dict[col.codes[i]]
+		}
+		r.MustInsert(row)
+	}
+	return r
+}
+
+// Schema returns the block's schema.
+func (b *ColBlock) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *ColBlock) Len() int { return b.n }
+
+// Dict returns column c's sorted dictionary. Callers must not modify it —
+// dictionaries are shared across blocks.
+func (b *ColBlock) Dict(c int) []Value { return b.cols[c].dict }
+
+// Codes returns column c's per-row dictionary codes. Callers must not
+// modify the slice.
+func (b *ColBlock) Codes(c int) []uint32 { return b.cols[c].codes }
+
+// Value decodes the value at row i, column c.
+func (b *ColBlock) Value(i, c int) Value {
+	col := &b.cols[c]
+	return col.dict[col.codes[i]]
+}
+
+// FindCode returns the dictionary code of v in column c and whether the
+// column contains it, by binary search over the sorted dictionary.
+func (b *ColBlock) FindCode(c int, v Value) (uint32, bool) {
+	dict := b.cols[c].dict
+	i := sort.Search(len(dict), func(i int) bool { return dict[i].Compare(v) >= 0 })
+	if i < len(dict) && dict[i].Equal(v) {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// Validate checks the block's structural invariants: equal column lengths,
+// strictly sorted dictionaries, and every code in range. The fuzz target
+// and the differential tests call it; kernels assume it.
+func (b *ColBlock) Validate() error {
+	if len(b.cols) != b.schema.Len() {
+		return fmt.Errorf("colblock: %d columns for schema %s (arity %d)", len(b.cols), b.schema, b.schema.Len())
+	}
+	for c := range b.cols {
+		col := &b.cols[c]
+		if len(col.codes) != b.n {
+			return fmt.Errorf("colblock: column %d has %d codes, block has %d rows", c, len(col.codes), b.n)
+		}
+		for i := 1; i < len(col.dict); i++ {
+			if col.dict[i-1].Compare(col.dict[i]) >= 0 {
+				return fmt.Errorf("colblock: column %d dictionary not strictly sorted at %d", c, i)
+			}
+		}
+		for i, code := range col.codes {
+			if int(code) >= len(col.dict) {
+				return fmt.Errorf("colblock: column %d row %d code %d out of range [0,%d)", c, i, code, len(col.dict))
+			}
+		}
+	}
+	return nil
+}
+
+// SelVec is a reusable selection vector: the row indexes of a ColBlock that
+// survive a chain of filters. Reset and Filter reuse the vector's capacity,
+// so a steady-state scan loop performs no allocation at all — the property
+// the AllocsPerRun regression tests pin.
+type SelVec struct {
+	idx []int32
+}
+
+// Reset fills the vector with 0..n-1, growing its buffer only when n
+// exceeds the current capacity.
+func (s *SelVec) Reset(n int) {
+	if cap(s.idx) < n {
+		s.idx = make([]int32, n)
+	}
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = int32(i)
+	}
+}
+
+// Len returns the number of selected rows.
+func (s *SelVec) Len() int { return len(s.idx) }
+
+// Indices returns the selected row indexes. The slice aliases the vector's
+// buffer and is invalidated by the next Reset or Filter.
+func (s *SelVec) Indices() []int32 { return s.idx }
+
+// Filter compacts the vector in place to the rows keep accepts.
+func (s *SelVec) Filter(keep func(row int32) bool) {
+	out := s.idx[:0]
+	for _, i := range s.idx {
+		if keep(i) {
+			out = append(out, i)
+		}
+	}
+	s.idx = out
+}
+
+// FilterEq narrows sel to the rows of column c equal to v: one dictionary
+// binary search, then a tight scan comparing uint32 codes — no Value
+// comparison and no allocation in the loop.
+func (b *ColBlock) FilterEq(sel *SelVec, c int, v Value) {
+	code, ok := b.FindCode(c, v)
+	if !ok {
+		sel.idx = sel.idx[:0]
+		return
+	}
+	codes := b.cols[c].codes
+	out := sel.idx[:0]
+	for _, i := range sel.idx {
+		if codes[i] == code {
+			out = append(out, i)
+		}
+	}
+	sel.idx = out
+}

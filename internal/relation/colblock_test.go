@@ -1,0 +1,206 @@
+package relation
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromRelationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2033))
+	for trial := 0; trial < 100; trial++ {
+		r := randRel(rng, "ABC", rng.Intn(50), 4)
+		b := FromRelation(r)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if b.Len() != r.Len() {
+			t.Fatalf("trial %d: block has %d rows, relation %d", trial, b.Len(), r.Len())
+		}
+		if !b.ToRelation().Equal(r) {
+			t.Fatalf("trial %d: round trip changed the relation", trial)
+		}
+	}
+}
+
+func TestFromRelationDictionariesMinimalAndSorted(t *testing.T) {
+	r := mkRel(t, "AB",
+		[]int64{5, 1}, []int64{3, 1}, []int64{5, 2}, []int64{9, 1})
+	b := FromRelation(r)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Column A has values {3,5,9}, column B {1,2}; dictionaries are minimal.
+	if got := len(b.Dict(0)); got != 3 {
+		t.Errorf("dict A has %d entries, want 3", got)
+	}
+	if got := len(b.Dict(1)); got != 2 {
+		t.Errorf("dict B has %d entries, want 2", got)
+	}
+	// Code order is value order: row decoding through Value matches dicts.
+	for i := 0; i < b.Len(); i++ {
+		for c := 0; c < 2; c++ {
+			if !b.Value(i, c).Equal(b.Dict(c)[b.Codes(c)[i]]) {
+				t.Fatalf("row %d col %d decodes inconsistently", i, c)
+			}
+		}
+	}
+}
+
+func TestFindCode(t *testing.T) {
+	r := mkRel(t, "A", []int64{10}, []int64{20}, []int64{30})
+	b := FromRelation(r)
+	for i, v := range []int64{10, 20, 30} {
+		code, ok := b.FindCode(0, Int(v))
+		if !ok || code != uint32(i) {
+			t.Errorf("FindCode(%d) = %d,%v; want %d,true", v, code, ok, i)
+		}
+	}
+	if _, ok := b.FindCode(0, Int(25)); ok {
+		t.Error("FindCode found a value not in the column")
+	}
+	if _, ok := b.FindCode(0, String("10")); ok {
+		t.Error("FindCode conflated Int(10) with String(\"10\")")
+	}
+}
+
+func TestSelVecFilterEq(t *testing.T) {
+	r := mkRel(t, "AB",
+		[]int64{1, 1}, []int64{1, 2}, []int64{2, 1}, []int64{2, 2}, []int64{3, 1})
+	b := FromRelation(r)
+	var sel SelVec
+	sel.Reset(b.Len())
+	if sel.Len() != 5 {
+		t.Fatalf("Reset(5) gives %d rows", sel.Len())
+	}
+	b.FilterEq(&sel, 0, Int(2)) // rows with A=2
+	if sel.Len() != 2 {
+		t.Fatalf("A=2 selects %d rows, want 2", sel.Len())
+	}
+	b.FilterEq(&sel, 1, Int(1)) // then B=1
+	if sel.Len() != 1 {
+		t.Fatalf("A=2 ∧ B=1 selects %d rows, want 1", sel.Len())
+	}
+	i := sel.Indices()[0]
+	if !b.Value(int(i), 0).Equal(Int(2)) || !b.Value(int(i), 1).Equal(Int(1)) {
+		t.Fatalf("selected row %d is not (2,1)", i)
+	}
+	// A value absent from the dictionary empties the selection.
+	sel.Reset(b.Len())
+	b.FilterEq(&sel, 0, Int(99))
+	if sel.Len() != 0 {
+		t.Fatalf("absent value selects %d rows", sel.Len())
+	}
+	// Filter-based compaction agrees with FilterEq.
+	sel.Reset(b.Len())
+	codes := b.Codes(1)
+	sel.Filter(func(row int32) bool { return codes[row] == 0 })
+	want := 3 // rows with B=1 (code 0, the smallest value)
+	if sel.Len() != want {
+		t.Fatalf("Filter on B's code 0 selects %d rows, want %d", sel.Len(), want)
+	}
+}
+
+// TestSelVecZeroAllocs pins the selection-vector hot loop at zero
+// allocations: once the vector has grown to capacity, Reset, Filter, and
+// FilterEq never allocate again.
+func TestSelVecZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2034))
+	r := randRel(rng, "AB", 512, 8)
+	b := FromRelation(r)
+	n := b.Len()
+	var sel SelVec
+	sel.Reset(n) // warm: one growth to capacity n
+	codes := b.Codes(0)
+	keep := func(row int32) bool { return codes[row]%2 == 0 }
+	v := b.Dict(1)[0]
+	if avg := testing.AllocsPerRun(100, func() {
+		sel.Reset(n)
+		sel.Filter(keep)
+		b.FilterEq(&sel, 1, v)
+	}); avg != 0 {
+		t.Fatalf("selection hot loop allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestKernelProbeZeroAllocs pins the join kernel's off-path: probing a
+// prebuilt hash table with packed uint64 keys — hits and misses, including
+// probes whose codes have no image in the build dictionary — allocates
+// nothing per probe row.
+func TestKernelProbeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2035))
+	build := randRel(rng, "AB", 256, 8)
+	probe := randRel(rng, "BC", 256, 16) // wider domain: misses and no-image codes
+	lb, rb := FromRelation(build), FromRelation(probe)
+	common := lb.Schema().AttrSet().Intersect(rb.Schema().AttrSet())
+	lPos, _ := lb.Schema().Positions(common)
+	rPos, _ := rb.Schema().Positions(common)
+	ht := buildCodeHash(lb, lPos)
+	probeCols := keyCols(rb, rPos)
+	remaps := remapCols(rb, rPos, lb, lPos)
+	n := rb.Len()
+	sink := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < n; i++ {
+			sink += len(ht.lookup(probeCols, remaps, i))
+		}
+	}); avg != 0 {
+		t.Fatalf("packed-key probe loop allocates %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestColumnarJSONBoundaryInt64 checks boundary int64 values survive the
+// full path the service exercises: JSON wire decode → tuple map →
+// columnar dictionary → decode → JSON wire encode, with exact-value
+// preservation (the PR 2 wire-format guarantee) and exact dictionary
+// lookups at both extremes.
+func TestColumnarJSONBoundaryInt64(t *testing.T) {
+	wire := `{"attrs":["A","B"],"tuples":[` +
+		`[-9223372036854775808,9223372036854775807],` +
+		`[-9223372036854775807,9223372036854775806],` +
+		`[-1,0],[0,1],[9223372036854775807,-9223372036854775808]]}`
+	var r Relation
+	if err := json.Unmarshal([]byte(wire), &r); err != nil {
+		t.Fatal(err)
+	}
+	b := FromRelation(&r)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{math.MinInt64, math.MaxInt64} {
+		for c := 0; c < 2; c++ {
+			code, ok := b.FindCode(c, Int(v))
+			if !ok {
+				t.Fatalf("column %d dictionary lost boundary value %d", c, v)
+			}
+			if got := b.Dict(c)[code].AsInt(); got != v {
+				t.Fatalf("column %d dictionary stores %d for %d", c, got, v)
+			}
+		}
+	}
+	back := b.ToRelation()
+	if !back.Equal(&r) {
+		t.Fatal("columnar round trip changed the relation")
+	}
+	out, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Relation
+	if err := json.Unmarshal(out, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(&r) {
+		t.Fatal("wire round trip after columnar pass changed the relation")
+	}
+	// The self-join through the columnar kernel preserves the exact values.
+	joined, err := JoinBlocksGoverned(nil, b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.ToRelation().Equal(&r) {
+		t.Fatal("columnar self-join changed boundary values")
+	}
+}

@@ -1,0 +1,454 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/govern"
+)
+
+// Vectorized batch kernels over ColBlocks: join, semijoin, and projection
+// operating on dictionary codes instead of tuples. Each kernel mirrors its
+// tuple-map counterpart in ops.go exactly — same output schema, same
+// build/probe side choice, same governor op name, and the same Visit call
+// per probe row — so the governor cannot tell the two apart: charge totals,
+// MaxIntermediateTuples boundaries, and abort points coincide. The
+// differential gauntlet in columnardiff_test.go enforces this.
+//
+// Matching across blocks works by code remapping: for every common column,
+// the probe side's sorted dictionary is merged once against the build
+// side's (O(|dictL| + |dictR|)), yielding probe-code → build-code (or -1
+// when the value is absent and the row can never match). After that, all
+// per-row work is uint32 comparisons and integer-keyed map operations; with
+// one or two join columns the codes pack collision-free into a single
+// uint64 key, so the probe loop performs no allocation at all.
+
+// JoinBlocksGoverned computes the natural join l ⋈ r over column blocks.
+// The output schema is l's columns followed by r's columns not in l, and
+// every output column shares its source block's dictionary by reference —
+// joining never copies or re-encodes values.
+func JoinBlocksGoverned(g *govern.Governor, l, r *ColBlock) (*ColBlock, error) {
+	scope, err := g.Begin("relation.Join")
+	if err != nil {
+		return nil, err
+	}
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	var rOnlyPos []int
+	for i, a := range r.schema.Attrs() {
+		if !l.schema.Has(a) {
+			rOnlyPos = append(rOnlyPos, i)
+		}
+	}
+	out := newJoinedBlock(joinSchema(l.schema, r.schema), l, r, rOnlyPos)
+
+	if common.IsEmpty() {
+		for i := 0; i < l.n; i++ {
+			for j := 0; j < r.n; j++ {
+				out.appendJoined(l, r, i, j, rOnlyPos)
+				if err := scope.Visit(out.n); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+	if l.n <= r.n {
+		// Build on l, probe with r (the smaller side is hashed, as in
+		// hashJoinInto). Output rows still read (l row, r-only columns).
+		ht := buildCodeHash(l, lPos)
+		probe := keyCols(r, rPos)
+		remaps := remapCols(r, rPos, l, lPos)
+		for j := 0; j < r.n; j++ {
+			for _, i := range ht.lookup(probe, remaps, j) {
+				out.appendJoined(l, r, int(i), j, rOnlyPos)
+			}
+			if err := scope.Visit(out.n); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ht := buildCodeHash(r, rPos)
+		probe := keyCols(l, lPos)
+		remaps := remapCols(l, lPos, r, rPos)
+		for i := 0; i < l.n; i++ {
+			for _, j := range ht.lookup(probe, remaps, i) {
+				out.appendJoined(l, r, i, int(j), rOnlyPos)
+			}
+			if err := scope.Visit(out.n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SemijoinBlocksGoverned computes l ⋉ r over column blocks: the rows of l
+// with at least one match in r. The output shares l's schema and
+// dictionaries; only code vectors are written.
+func SemijoinBlocksGoverned(g *govern.Governor, l, r *ColBlock) (*ColBlock, error) {
+	scope, err := g.Begin("relation.Semijoin")
+	if err != nil {
+		return nil, err
+	}
+	common := l.schema.AttrSet().Intersect(r.schema.AttrSet())
+	out := newSelectedBlock(l)
+	if common.IsEmpty() {
+		if r.n > 0 {
+			for i := 0; i < l.n; i++ {
+				out.appendFrom(l, i)
+				if err := scope.Visit(out.n); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	lPos, _ := l.schema.Positions(common)
+	rPos, _ := r.schema.Positions(common)
+	lCols, rCols := keyCols(l, lPos), keyCols(r, rPos)
+	if l.n <= r.n {
+		// Hash the smaller (left) side: collect l's keys, scan r marking
+		// which have support, then emit the supported l rows — the same
+		// |l|-bounded-memory shape as the sequential operator.
+		support := newCodeSet(len(lPos), l.n)
+		for i := 0; i < l.n; i++ {
+			support.put(lCols, i)
+		}
+		remaps := remapCols(r, rPos, l, lPos)
+		for j := 0; j < r.n; j++ {
+			support.mark(rCols, remaps, j)
+			if err := scope.Visit(out.n); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < l.n; i++ {
+			if support.marked(lCols, nil, i) {
+				out.appendFrom(l, i)
+			}
+			if err := scope.Visit(out.n); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	keys := newCodeSet(len(rPos), r.n)
+	for j := 0; j < r.n; j++ {
+		keys.put(rCols, j)
+	}
+	remaps := remapCols(l, lPos, r, rPos)
+	for i := 0; i < l.n; i++ {
+		if keys.has(lCols, remaps, i) {
+			out.appendFrom(l, i)
+		}
+		if err := scope.Visit(out.n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ProjectBlocksGoverned computes π_attrs(b) over a column block,
+// deduplicating on packed dictionary codes. Output columns share the
+// source columns' dictionaries.
+func ProjectBlocksGoverned(g *govern.Governor, b *ColBlock, attrs AttrSet) (*ColBlock, error) {
+	if !b.schema.AttrSet().ContainsAll(attrs) {
+		return nil, fmt.Errorf("relation: projection attributes %s not all in schema %s",
+			attrs, b.schema)
+	}
+	scope, err := g.Begin("relation.Project")
+	if err != nil {
+		return nil, err
+	}
+	pos, _ := b.schema.Positions(attrs)
+	out := &ColBlock{schema: MustSchema(attrs...), cols: make([]column, len(pos))}
+	for k, p := range pos {
+		out.cols[k].dict = b.cols[p].dict
+	}
+	cols := keyCols(b, pos)
+	seen := newCodeSet(len(pos), b.n)
+	for i := 0; i < b.n; i++ {
+		if seen.putNew(cols, i) {
+			for k, p := range pos {
+				out.cols[k].codes = append(out.cols[k].codes, b.cols[p].codes[i])
+			}
+			out.n++
+		}
+		if err := scope.Visit(out.n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// newJoinedBlock prepares the output block of a join: l's columns then r's
+// rOnlyPos columns, each sharing its source dictionary.
+func newJoinedBlock(schema *Schema, l, r *ColBlock, rOnlyPos []int) *ColBlock {
+	out := &ColBlock{schema: schema, cols: make([]column, len(l.cols)+len(rOnlyPos))}
+	for c := range l.cols {
+		out.cols[c].dict = l.cols[c].dict
+	}
+	for k, p := range rOnlyPos {
+		out.cols[len(l.cols)+k].dict = r.cols[p].dict
+	}
+	return out
+}
+
+// appendJoined appends the output row (l row i, r row j's rOnlyPos columns).
+func (out *ColBlock) appendJoined(l, r *ColBlock, i, j int, rOnlyPos []int) {
+	nl := len(l.cols)
+	for c := 0; c < nl; c++ {
+		out.cols[c].codes = append(out.cols[c].codes, l.cols[c].codes[i])
+	}
+	for k, p := range rOnlyPos {
+		out.cols[nl+k].codes = append(out.cols[nl+k].codes, r.cols[p].codes[j])
+	}
+	out.n++
+}
+
+// newSelectedBlock prepares an output block selecting rows of src: same
+// schema, shared dictionaries, empty code vectors.
+func newSelectedBlock(src *ColBlock) *ColBlock {
+	out := &ColBlock{schema: src.schema, cols: make([]column, len(src.cols))}
+	for c := range src.cols {
+		out.cols[c].dict = src.cols[c].dict
+	}
+	return out
+}
+
+// appendFrom appends row i of src.
+func (out *ColBlock) appendFrom(src *ColBlock, i int) {
+	for c := range src.cols {
+		out.cols[c].codes = append(out.cols[c].codes, src.cols[c].codes[i])
+	}
+	out.n++
+}
+
+// remapCols builds, for every key column, probe-code → build-code (or -1
+// when the probe value is absent from the build dictionary). One sorted
+// merge per column; after this, cross-block matching is pure integer work.
+func remapCols(from *ColBlock, fromPos []int, to *ColBlock, toPos []int) [][]int32 {
+	out := make([][]int32, len(fromPos))
+	for k := range fromPos {
+		out[k] = remapDict(from.cols[fromPos[k]].dict, to.cols[toPos[k]].dict)
+	}
+	return out
+}
+
+// remapDict merges two sorted dictionaries: out[i] is from[i]'s code in to,
+// or -1.
+func remapDict(from, to []Value) []int32 {
+	out := make([]int32, len(from))
+	j := 0
+	for i, v := range from {
+		for j < len(to) && to[j].Compare(v) < 0 {
+			j++
+		}
+		if j < len(to) && to[j].Equal(v) {
+			out[i] = int32(j)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// packedKeyAt packs row i's codes over the key columns into one uint64 —
+// collision-free for up to two columns (each code is 32 bits). remaps maps
+// each column's codes into the build side's code space; nil means the row's
+// codes are already in that space. ok is false when a code has no image, in
+// which case the row cannot match anything.
+func packedKeyAt(cols [][]uint32, remaps [][]int32, i int) (key uint64, ok bool) {
+	for k, codes := range cols {
+		c := codes[i]
+		if remaps != nil {
+			m := remaps[k][c]
+			if m < 0 {
+				return 0, false
+			}
+			c = uint32(m)
+		}
+		key = key<<32 | uint64(c)
+	}
+	return key, true
+}
+
+// wideKeyAt is packedKeyAt for three or more key columns: the codes are
+// appended big-endian to buf (reset first), yielding an injective byte key.
+func wideKeyAt(buf []byte, cols [][]uint32, remaps [][]int32, i int) ([]byte, bool) {
+	buf = buf[:0]
+	for k, codes := range cols {
+		c := codes[i]
+		if remaps != nil {
+			m := remaps[k][c]
+			if m < 0 {
+				return buf, false
+			}
+			c = uint32(m)
+		}
+		buf = append(buf, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	return buf, true
+}
+
+// keyCols gathers the code columns of b at the given positions.
+func keyCols(b *ColBlock, pos []int) [][]uint32 {
+	cols := make([][]uint32, len(pos))
+	for k, p := range pos {
+		cols[k] = b.cols[p].codes
+	}
+	return cols
+}
+
+// codeHash is the join build table: build-row indexes keyed by packed codes
+// (uint64 map up to two key columns, byte-string map beyond).
+type codeHash struct {
+	packed map[uint64][]int32
+	wide   map[string][]int32
+	buf    []byte
+}
+
+// buildCodeHash indexes b's rows on the key columns at pos.
+func buildCodeHash(b *ColBlock, pos []int) *codeHash {
+	h := &codeHash{}
+	cols := keyCols(b, pos)
+	if len(pos) <= 2 {
+		h.packed = make(map[uint64][]int32, b.n)
+		for i := 0; i < b.n; i++ {
+			k, _ := packedKeyAt(cols, nil, i)
+			h.packed[k] = append(h.packed[k], int32(i))
+		}
+		return h
+	}
+	h.wide = make(map[string][]int32, b.n)
+	for i := 0; i < b.n; i++ {
+		h.buf, _ = wideKeyAt(h.buf, cols, nil, i)
+		h.wide[string(h.buf)] = append(h.wide[string(h.buf)], int32(i))
+	}
+	return h
+}
+
+// lookup returns the build rows matching probe row i, read from the probe
+// side's code columns and translated through remaps. A probe whose codes
+// have no image in the build dictionaries returns nil without touching the
+// map. With packed keys the whole call is allocation-free.
+func (h *codeHash) lookup(probeCols [][]uint32, remaps [][]int32, i int) []int32 {
+	if h.packed != nil {
+		k, ok := packedKeyAt(probeCols, remaps, i)
+		if !ok {
+			return nil
+		}
+		return h.packed[k]
+	}
+	buf, ok := wideKeyAt(h.buf, probeCols, remaps, i)
+	h.buf = buf
+	if !ok {
+		return nil
+	}
+	return h.wide[string(buf)]
+}
+
+// codeSet is a set (with a mark bit) over packed code keys: the semijoin
+// support table and the projection dedup table.
+type codeSet struct {
+	packed map[uint64]bool
+	wide   map[string]bool
+	buf    []byte
+}
+
+// newCodeSet prepares an empty set over ncols key columns, sized for n rows.
+func newCodeSet(ncols, n int) *codeSet {
+	s := &codeSet{}
+	if ncols <= 2 {
+		s.packed = make(map[uint64]bool, n)
+	} else {
+		s.wide = make(map[string]bool, n)
+	}
+	return s
+}
+
+// put inserts row i's key (unmarked), keeping an existing mark.
+func (s *codeSet) put(cols [][]uint32, i int) {
+	if s.packed != nil {
+		k, _ := packedKeyAt(cols, nil, i)
+		if _, present := s.packed[k]; !present {
+			s.packed[k] = false
+		}
+		return
+	}
+	s.buf, _ = wideKeyAt(s.buf, cols, nil, i)
+	if _, present := s.wide[string(s.buf)]; !present {
+		s.wide[string(s.buf)] = false
+	}
+}
+
+// putNew inserts row i's key and reports whether it was absent — the
+// projection dedup step.
+func (s *codeSet) putNew(cols [][]uint32, i int) bool {
+	if s.packed != nil {
+		k, _ := packedKeyAt(cols, nil, i)
+		if _, dup := s.packed[k]; dup {
+			return false
+		}
+		s.packed[k] = true
+		return true
+	}
+	s.buf, _ = wideKeyAt(s.buf, cols, nil, i)
+	if _, dup := s.wide[string(s.buf)]; dup {
+		return false
+	}
+	s.wide[string(s.buf)] = true
+	return true
+}
+
+// mark sets the mark bit for row i's key if the key is present (the
+// semijoin "interesting" check); rows whose codes have no image in the key
+// space cannot match and are skipped.
+func (s *codeSet) mark(cols [][]uint32, remaps [][]int32, i int) {
+	if s.packed != nil {
+		if k, ok := packedKeyAt(cols, remaps, i); ok {
+			if _, interesting := s.packed[k]; interesting {
+				s.packed[k] = true
+			}
+		}
+		return
+	}
+	buf, ok := wideKeyAt(s.buf, cols, remaps, i)
+	s.buf = buf
+	if ok {
+		if _, interesting := s.wide[string(buf)]; interesting {
+			s.wide[string(buf)] = true
+		}
+	}
+}
+
+// marked reports row i's mark bit.
+func (s *codeSet) marked(cols [][]uint32, remaps [][]int32, i int) bool {
+	if s.packed != nil {
+		k, ok := packedKeyAt(cols, remaps, i)
+		return ok && s.packed[k]
+	}
+	buf, ok := wideKeyAt(s.buf, cols, remaps, i)
+	s.buf = buf
+	return ok && s.wide[string(buf)]
+}
+
+// has reports whether row i's key is present (marked or not).
+func (s *codeSet) has(cols [][]uint32, remaps [][]int32, i int) bool {
+	if s.packed != nil {
+		k, ok := packedKeyAt(cols, remaps, i)
+		if !ok {
+			return false
+		}
+		_, present := s.packed[k]
+		return present
+	}
+	buf, ok := wideKeyAt(s.buf, cols, remaps, i)
+	s.buf = buf
+	if !ok {
+		return false
+	}
+	_, present := s.wide[string(buf)]
+	return present
+}

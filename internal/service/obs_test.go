@@ -222,6 +222,43 @@ func TestMetricsEndpointServesValidText(t *testing.T) {
 	}
 }
 
+// TestColumnarQueryMetrics serves a columnar-strategy query end-to-end and
+// checks its strategy×status counter and the columnar tuple counter move.
+func TestColumnarQueryMetrics(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if _, err := s.Register("tri", triangleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Query(context.Background(), Request{Database: "tri", Strategy: "columnar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy.String() != "columnar" {
+		t.Fatalf("executed strategy %q, want columnar", rep.Strategy)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, `joind_queries_total{strategy="columnar",status="ok"} 1`) {
+		t.Errorf("columnar strategy counter did not move:\n%s", text)
+	}
+	if strings.Contains(text, "joind_columnar_tuples_total 0\n") {
+		t.Errorf("columnar tuple counter stayed at 0:\n%s", text)
+	}
+	if !strings.Contains(text, "joind_columnar_tuples_total") {
+		t.Errorf("columnar tuple series missing:\n%s", text)
+	}
+}
+
 // TestUntracedServiceAssignsNoTraceIDs checks the default configuration
 // (no tracer, no slow log) builds no spans at all.
 func TestUntracedServiceAssignsNoTraceIDs(t *testing.T) {

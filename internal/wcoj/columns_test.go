@@ -1,0 +1,115 @@
+package wcoj
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/govern"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// randOrderRel draws a random relation over a prefix of the given attrs and
+// a random permutation order covering them — the shapes buildTrie and
+// FromColumns must agree on.
+func randTrieRel(rng *rand.Rand, size int) (*relation.Relation, []string) {
+	attrs := []string{"A", "B", "C", "D"}[:1+rng.Intn(4)]
+	schema := relation.MustSchema(attrs...)
+	r := relation.New(schema)
+	for i := 0; i < size; i++ {
+		row := make(relation.Tuple, len(attrs))
+		for c := range row {
+			row[c] = relation.Int(int64(rng.Intn(5)))
+		}
+		r.MustInsert(row)
+	}
+	order := append([]string(nil), attrs...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return r, order
+}
+
+// TestFromColumnsMatchesBuildTrie is the trie builders' differential: the
+// columnar path must produce the identical index — same attrs, same sorted
+// rows — and charge the identical governed total as the tuple-at-a-time
+// builder it replaced on the hot path.
+func TestFromColumnsMatchesBuildTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(2031))
+	for trial := 0; trial < 200; trial++ {
+		r, order := randTrieRel(rng, rng.Intn(50))
+
+		refG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		refScope, err := refG.Begin("wcoj.trie")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := buildTrie(r, order, refScope)
+		if err != nil {
+			t.Fatalf("trial %d buildTrie: %v", trial, err)
+		}
+
+		colG := govern.New(govern.Limits{MaxTuples: 1 << 40})
+		colScope, err := colG.Begin("wcoj.trie")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromColumns(r, order, colScope)
+		if err != nil {
+			t.Fatalf("trial %d FromColumns: %v", trial, err)
+		}
+
+		if len(got.attrs) != len(ref.attrs) {
+			t.Fatalf("trial %d: attrs %v vs %v", trial, got.attrs, ref.attrs)
+		}
+		for i := range got.attrs {
+			if got.attrs[i] != ref.attrs[i] {
+				t.Fatalf("trial %d: attrs %v vs %v", trial, got.attrs, ref.attrs)
+			}
+		}
+		if len(got.rows) != len(ref.rows) {
+			t.Fatalf("trial %d: %d rows vs %d", trial, len(got.rows), len(ref.rows))
+		}
+		for i := range got.rows {
+			if compareRows(got.rows[i], ref.rows[i]) != 0 {
+				t.Fatalf("trial %d: row %d differs: %v vs %v", trial, i, got.rows[i], ref.rows[i])
+			}
+		}
+		if colG.Produced() != refG.Produced() {
+			t.Fatalf("trial %d: columnar charged %d, reference %d", trial, colG.Produced(), refG.Produced())
+		}
+	}
+}
+
+// TestFromColumnsAbortsLikeBuildTrie checks both builders reject a budget
+// one entry short of the relation with the same typed error.
+func TestFromColumnsAbortsLikeBuildTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(2032))
+	r, order := randTrieRel(rng, 30)
+	n := int64(r.Len())
+	for _, build := range []struct {
+		name string
+		fn   func(*relation.Relation, []string, *govern.OpScope) (*trieIndex, error)
+	}{{"buildTrie", buildTrie}, {"FromColumns", FromColumns}} {
+		g := govern.New(govern.Limits{MaxTuples: n - 1, CheckEvery: 1})
+		scope, err := g.Begin("wcoj.trie")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := build.fn(r, order, scope); !errors.Is(err, govern.ErrTupleBudget) {
+			t.Fatalf("%s: want ErrTupleBudget one entry short, got %v", build.name, err)
+		}
+	}
+}
+
+// TestFromColumnsRejectsBadOrder pins the shared validation: an order that
+// misses a schema attribute fails identically on both builders.
+func TestFromColumnsRejectsBadOrder(t *testing.T) {
+	spec := workload.TriangleSpec{Nodes: 5, Edges: 8}
+	db, err := spec.TriangleDatabase(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromColumns(db.Relation(0), []string{"A"}, nil); err == nil {
+		t.Fatal("FromColumns accepted an order that does not cover the schema")
+	}
+}

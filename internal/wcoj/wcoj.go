@@ -19,7 +19,10 @@
 //   - VariableOrder: a deterministic global attribute order for a scheme,
 //     preferring orders whose prefixes stay connected (order.go);
 //   - trie indexes over sorted, order-permuted tuples with the classical
-//     open/up/next/seek iterator interface (trie.go);
+//     open/up/next/seek iterator interface (trie.go), built through the
+//     columnar fast path — dictionary-encode once, sort integer codes,
+//     decode — with the tuple-at-a-time builder kept as the differential
+//     oracle (columns.go);
 //   - the leapfrog k-way intersection of trie levels (leapfrog.go);
 //   - Join / JoinGoverned: the full multiway join, with governed variants
 //     charging trie construction and output tuples against a
@@ -93,7 +96,7 @@ func JoinGoverned(db *relation.Database, order []string, gov *govern.Governor, w
 			sp.End()
 			return nil, err
 		}
-		tr, err := buildTrie(db.Relation(i), order, scope)
+		tr, err := FromColumns(db.Relation(i), order, scope)
 		if err != nil {
 			sp.Note("failed: %v", err)
 			sp.End()

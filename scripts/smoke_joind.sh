@@ -101,6 +101,28 @@ grep -q '"cache_hit":true' /tmp/joind_query2.json || {
     exit 1
 }
 
+# Columnar strategy end-to-end: same result through the vectorized batch
+# kernels, cached under its own fingerprint#strategy key (a fresh miss).
+code=$(curl -sS -o /tmp/joind_query_columnar.json -w '%{http_code}' \
+    -X POST "$BASE/v1/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"database":"triangle","strategy":"columnar","include_result":true}')
+if [ "$code" != "200" ]; then
+    echo "columnar query: expected 200, got $code:" >&2
+    cat /tmp/joind_query_columnar.json >&2
+    exit 1
+fi
+grep -q '"result_count":3' /tmp/joind_query_columnar.json || {
+    echo "columnar query: expected result_count 3:" >&2
+    cat /tmp/joind_query_columnar.json >&2
+    exit 1
+}
+grep -q '"strategy":"columnar"' /tmp/joind_query_columnar.json || {
+    echo "columnar query: response does not report the columnar strategy:" >&2
+    cat /tmp/joind_query_columnar.json >&2
+    exit 1
+}
+
 # Stats must show the hit too, and surface the durable/view counters at the
 # top level.
 curl -fsS "$BASE/v1/stats" >/tmp/joind_stats.json
@@ -171,11 +193,13 @@ fi
 # the queries and the ingest above.
 curl -fsS "$BASE/metrics" >/tmp/joind_metrics.txt
 for series in \
-    'joind_query_duration_seconds_count 3' \
-    'joind_queue_wait_seconds_count 3' \
-    'joind_plan_cache_misses_total 2' \
+    'joind_query_duration_seconds_count 4' \
+    'joind_queue_wait_seconds_count 4' \
+    'joind_plan_cache_misses_total 3' \
     'joind_registered_databases 1' \
-    'joind_slow_queries_total 3' \
+    'joind_slow_queries_total 4' \
+    'joind_queries_total{strategy="columnar",status="ok"} 1' \
+    'joind_columnar_tuples_total' \
     'joind_tuples_produced_total' \
     'joind_worker_utilization' \
     'joind_tuple_budget_remaining' \
@@ -185,7 +209,7 @@ for series in \
     'joind_wal_appends_total 1' \
     'joind_wal_bytes_total' \
     'joind_snapshot_writes_total' \
-    'joind_plan_cache_invalidations_total 1' \
+    'joind_plan_cache_invalidations_total 2' \
     'joind_views_registered 1' \
     'joind_views_stale 0' \
     'joind_view_delta_batches_total 1' \
@@ -216,8 +240,8 @@ grep -q '"enabled":true' /tmp/joind_slow.json || {
     cat /tmp/joind_slow.json >&2
     exit 1
 }
-grep -q '"recorded":3' /tmp/joind_slow.json || {
-    echo "/v1/slow did not capture all three queries:" >&2
+grep -q '"recorded":4' /tmp/joind_slow.json || {
+    echo "/v1/slow did not capture all four queries:" >&2
     cat /tmp/joind_slow.json >&2
     exit 1
 }
@@ -292,4 +316,4 @@ grep -q '"result_count":5' /tmp/joind_view4.json || {
     exit 1
 }
 
-echo "joind smoke: OK (ready gate, durable register + ingest, continuous query maintenance + recovery, cache hit, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
+echo "joind smoke: OK (ready gate, durable register + ingest, continuous query maintenance + recovery, cache hit, columnar strategy, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
