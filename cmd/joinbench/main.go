@@ -40,6 +40,7 @@ func main() {
 	wcojJSON := flag.String("wcoj-json", "BENCH_wcoj.json", "write the EX8 program-vs-triejoin table as JSON to this file when EX8 runs (\"\" = skip)")
 	ivmJSON := flag.String("ivm-json", "BENCH_ivm.json", "write the EX9 delta-apply-vs-recompute table as JSON to this file when EX9 runs (\"\" = skip)")
 	columnarJSON := flag.String("columnar-json", "BENCH_columnar.json", "write the EX10 columnar-vs-tuple-map table as JSON to this file when EX10 runs (\"\" = skip)")
+	shardJSON := flag.String("shard-json", "BENCH_shard.json", "write the EX11 scatter-gather scaling table as JSON to this file when EX11 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -72,6 +73,7 @@ func main() {
 	ex8Trials := 3
 	ex9Trials := 3
 	ex10Trials := 3
+	ex11Trials := 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
@@ -79,6 +81,7 @@ func main() {
 		ex8Trials = 1
 		ex9Trials = 1
 		ex10Trials = 2
+		ex11Trials = 2
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -137,6 +140,15 @@ func main() {
 			table, bench, err := experiments.ColumnarComparison(*seed, ex10Trials)
 			if err == nil && *columnarJSON != "" {
 				if werr := writeColumnarBench(*columnarJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
+		{"EX11", func() (*experiments.Table, error) {
+			table, bench, err := experiments.ShardScaling(*seed, ex11Trials)
+			if err == nil && *shardJSON != "" {
+				if werr := writeShardBench(*shardJSON, bench); werr != nil {
 					return nil, werr
 				}
 			}
@@ -270,6 +282,24 @@ func writeIVMBench(path string, bench *experiments.IVMBenchResult) error {
 // writeColumnarBench stores the EX10 machine-readable columnar-vs-tuple-map
 // table (-columnar-json; "-" = stdout).
 func writeColumnarBench(path string, bench *experiments.ColumnarBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
+}
+
+// writeShardBench stores the EX11 machine-readable scatter-gather scaling
+// table (-shard-json; "-" = stdout).
+func writeShardBench(path string, bench *experiments.ShardBenchResult) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

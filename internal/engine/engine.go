@@ -172,6 +172,11 @@ type Report struct {
 	// Parallelism is the intra-query worker count execution ran with
 	// (1 = sequential).
 	Parallelism int
+	// Shards is the number of shards the query scattered across (set by the
+	// sharding layer; 0 or 1 = executed unsharded). Cost and Produced are
+	// the merged totals, corrected to match what one sequential execution
+	// would have charged.
+	Shards int
 	// Steps carries per-statement timings for the program strategies (nil
 	// for the expression and pipeline strategies, whose plans are not
 	// statement lists). Under parallel execution concurrent steps overlap,
@@ -204,6 +209,9 @@ func (r *Report) Explain() string {
 	}
 	if r.Parallelism > 1 {
 		fmt.Fprintf(&b, "parallelism: %d workers\n", r.Parallelism)
+	}
+	if r.Shards > 1 {
+		fmt.Fprintf(&b, "shards:   %d (scatter-gather; cost and produced are merged totals)\n", r.Shards)
 	}
 	if len(r.Steps) > 0 {
 		b.WriteString("steps:\n")

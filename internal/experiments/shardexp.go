@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/relation"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// ShardBenchRow is one workload's sequential-vs-scatter measurement in
+// EX11.
+type ShardBenchRow struct {
+	Family       string `json:"family"`
+	Config       string `json:"config"`
+	Inputs       int64  `json:"inputs"`
+	ResultTuples int    `json:"result_tuples"`
+	Cost         int64  `json:"cost"`
+	// Shards is the effective shard count of the 4-shard run: 4 when the
+	// plan scattered, 1 when the cleanliness analysis forced the
+	// single-shard fallback.
+	Shards       int     `json:"shards"`
+	SeqWallMS    float64 `json:"seq_wall_ms"`
+	Shard2WallMS float64 `json:"shard2_wall_ms"`
+	Shard4WallMS float64 `json:"shard4_wall_ms"`
+	Speedup      float64 `json:"speedup"`
+	// Largest marks the triangle family's biggest size — the row the
+	// >= 1.5x acceptance bar applies to.
+	Largest bool `json:"largest"`
+}
+
+// ShardBenchResult is the machine-readable outcome of EX11, written by
+// joinbench as BENCH_shard.json.
+type ShardBenchResult struct {
+	Experiment string          `json:"experiment"`
+	Trials     int             `json:"trials"`
+	Rows       []ShardBenchRow `json:"rows"`
+}
+
+// shardBenchBudget keeps the governor counting charges without ever
+// aborting, so sequential and sharded Produced are comparable.
+const shardBenchBudget = int64(1) << 40
+
+// ShardScaling (experiment EX11) measures the one-round scatter-gather
+// sharding of internal/shard against sequential execution of the same
+// columnar plan. Every trial is differential: the merged result, the §2.3
+// cost, and the governor charge must equal the sequential run's exactly
+// (the experiment hard-fails on any divergence), so the only degree of
+// freedom is wall time — n shards evaluating n-times-smaller partitions
+// concurrently versus one evaluation of the full catalog. The acceptance
+// bar: on the triangle family's largest size the 4-shard in-process
+// scatter must be at least 1.5x faster than sequential, best-of-trials
+// against best-of-trials. Smaller sizes are reported but informative only
+// (tiny partitions don't amortize the scatter).
+func ShardScaling(seed int64, trials int) (*Table, *ShardBenchResult, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	// Concurrent shard evaluations allocate in parallel; at the default GC
+	// target the mark assists throttle exactly the concurrency being
+	// measured. Pin a higher target for the whole experiment — sequential
+	// and sharded runs are timed under the same setting.
+	defer debug.SetGCPercent(debug.SetGCPercent(300))
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:    "EX11",
+		Title: "Extension — scatter-gather sharding vs sequential execution of the same plan",
+		Columns: []string{
+			"workload", "inputs", "result", "shards",
+			"seq wall", "2-shard wall", "4-shard wall", "speedup@4",
+		},
+	}
+	bench := &ShardBenchResult{Experiment: "EX11", Trials: trials}
+
+	type workloadCase struct {
+		family  string
+		config  string
+		db      *relation.Database
+		largest bool
+	}
+	var cases []workloadCase
+	for _, cfg := range []struct {
+		nodes, edges int
+		largest      bool
+	}{
+		{60, 900, false},
+		{120, 3000, false},
+		{200, 8000, false},
+		{300, 18000, true},
+	} {
+		db, err := workload.TriangleSpec{Nodes: cfg.nodes, Edges: cfg.edges}.TriangleDatabase(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		cases = append(cases, workloadCase{
+			family:  "triangle",
+			config:  fmt.Sprintf("G(%d nodes, %d edges)", cfg.nodes, cfg.edges),
+			db:      db,
+			largest: cfg.largest,
+		})
+	}
+	for _, q := range []int64{10, 14} {
+		spec, err := workload.Example3(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := spec.CycleDatabase()
+		if err != nil {
+			return nil, nil, err
+		}
+		cases = append(cases, workloadCase{
+			family: "cycle4",
+			config: fmt.Sprintf("Example3(q=%d)", q),
+			db:     db,
+		})
+	}
+
+	opts := engine.Options{Limits: govern.Limits{MaxTuples: shardBenchBudget}}
+	for _, c := range cases {
+		plan, err := engine.PlanFor(c.db, engine.Options{Strategy: engine.StrategyColumnar})
+		if err != nil {
+			return nil, nil, err
+		}
+		inputs := int64(c.db.TotalTuples())
+
+		var seq *engine.Report
+		var seqWall time.Duration
+		for i := 0; i < trials; i++ {
+			start := time.Now()
+			r, err := engine.ExecutePlan(c.db, plan, opts)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("EX11 %s: sequential: %w", c.config, err)
+			}
+			if seq == nil || wall < seqWall {
+				seqWall, seq = wall, r
+			}
+		}
+
+		walls := map[int]time.Duration{}
+		var rep4 *engine.Report
+		for _, n := range []int{2, 4} {
+			// Threshold 0: partition every relation carrying the attribute,
+			// broadcast only the ones that lack it.
+			g, err := shard.NewGroup(c.config, c.db, n, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			ex := shard.NewInProcess(g)
+			var best time.Duration
+			var rep *engine.Report
+			for i := 0; i < trials; i++ {
+				start := time.Now()
+				r, err := shard.Run(g, plan, opts, ex)
+				wall := time.Since(start)
+				if err != nil {
+					return nil, nil, fmt.Errorf("EX11 %s: %d shards: %w", c.config, n, err)
+				}
+				if !r.Result.Equal(seq.Result) {
+					return nil, nil, fmt.Errorf("EX11 %s: %d-shard result (%d tuples) != sequential (%d tuples)",
+						c.config, n, r.Result.Len(), seq.Result.Len())
+				}
+				if r.Cost != seq.Cost {
+					return nil, nil, fmt.Errorf("EX11 %s: %d-shard cost %d != sequential %d",
+						c.config, n, r.Cost, seq.Cost)
+				}
+				if r.Produced != seq.Produced {
+					return nil, nil, fmt.Errorf("EX11 %s: %d-shard governor charge %d != sequential %d",
+						c.config, n, r.Produced, seq.Produced)
+				}
+				if rep == nil || wall < best {
+					best, rep = wall, r
+				}
+			}
+			walls[n] = best
+			if n == 4 {
+				rep4 = rep
+			}
+		}
+
+		speedup := float64(seqWall) / float64(walls[4])
+		if c.largest && speedup < 1.5 {
+			return nil, nil, fmt.Errorf("EX11 %s: 4-shard speedup %.2fx below the 1.5x acceptance bar on the family's largest size (seq %s, 4-shard %s)",
+				c.config, speedup, seqWall, walls[4])
+		}
+		t.AddRow(c.config, inputs, seq.Result.Len(), rep4.Shards,
+			seqWall.Round(10*time.Microsecond),
+			walls[2].Round(10*time.Microsecond),
+			walls[4].Round(10*time.Microsecond),
+			fmt.Sprintf("%.2fx", speedup))
+		bench.Rows = append(bench.Rows, ShardBenchRow{
+			Family:       c.family,
+			Config:       c.config,
+			Inputs:       inputs,
+			ResultTuples: seq.Result.Len(),
+			Cost:         seq.Cost,
+			Shards:       rep4.Shards,
+			SeqWallMS:    float64(seqWall) / float64(time.Millisecond),
+			Shard2WallMS: float64(walls[2]) / float64(time.Millisecond),
+			Shard4WallMS: float64(walls[4]) / float64(time.Millisecond),
+			Speedup:      speedup,
+			Largest:      c.largest,
+		})
+	}
+	t.AddNote("every trial is differential: merged result, §2.3 cost, and governor charge are asserted equal to the sequential run's")
+	t.AddNote("partitioning hashes the max-degree attribute; relations lacking it are broadcast, and the merged cost deducts the re-counted broadcast inputs")
+	t.AddNote("shards column shows the effective count: 1 means the cleanliness analysis forced the single-shard fallback for that plan")
+	t.AddNote("acceptance: >= 1.5x at 4 in-process shards on the triangle family's largest size (best-of-trials)")
+	t.AddNote("GC target pinned (GOGC 300) for the whole experiment so mark assists don't throttle the concurrency under measurement")
+	return t, bench, nil
+}

@@ -67,12 +67,54 @@ type Limits struct {
 	// cancellation/deadline polls (0 = DefaultCheckEvery). Budgets are
 	// enforced on every produced tuple regardless.
 	CheckEvery int
+	// Pool, when set, is a tuple budget shared with other executions: every
+	// produced tuple is charged against the pool in addition to this
+	// execution's own MaxTuples. A scatter-gather coordinator gives each
+	// shard the same Pool so the shards collectively observe exactly the
+	// budget one sequential execution would — the abort fires on the same
+	// global produced count regardless of how tuples split across shards.
+	Pool *Pool
 }
 
 // Enabled reports whether any limit is set.
 func (l Limits) Enabled() bool {
 	return l.MaxTuples > 0 || l.MaxIntermediateTuples > 0 ||
-		!l.Deadline.IsZero() || l.Context != nil
+		!l.Deadline.IsZero() || l.Context != nil || l.Pool != nil
+}
+
+// Pool is a tuple budget shared by several Governors. Charges are atomic,
+// so concurrent executions (the per-shard governors of one scatter-gather
+// query) collectively abort exactly when their total produced count first
+// exceeds the budget — the same boundary a single Governor with
+// MaxTuples = max enforces over one sequential execution.
+type Pool struct {
+	max  int64
+	used atomic.Int64
+}
+
+// NewPool returns a pool holding max tuples. max <= 0 returns nil (no
+// pooled limit), mirroring MaxTuples = 0.
+func NewPool(max int64) *Pool {
+	if max <= 0 {
+		return nil
+	}
+	return &Pool{max: max}
+}
+
+// Max returns the pool's budget.
+func (p *Pool) Max() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.max
+}
+
+// Used returns the tuples charged so far across all sharing governors.
+func (p *Pool) Used() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.used.Load()
 }
 
 // WithTimeout returns a copy of l whose Deadline is now+d (taking the
@@ -343,6 +385,11 @@ func (s *OpScope) add(delta int64) error {
 		}
 		if g.lim.MaxTuples > 0 && total > g.lim.MaxTuples {
 			return &LimitError{Op: s.op, Limit: "MaxTuples", Max: g.lim.MaxTuples, Produced: total}
+		}
+		if p := g.lim.Pool; p != nil {
+			if pooled := p.used.Add(delta); pooled > p.max {
+				return &LimitError{Op: s.op, Limit: "MaxTuples", Max: p.max, Produced: pooled}
+			}
 		}
 	}
 	if s.tick.Add(-1) <= 0 {

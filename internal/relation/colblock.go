@@ -98,18 +98,21 @@ func sortDict(dict []Value) []uint32 {
 
 // ToRelation decodes the block back into a tuple-map Relation over the same
 // schema. It is the inverse of FromRelation up to row order (both sides are
-// sets).
+// sets). Blocks hold distinct rows by construction — FromRelation starts
+// from a set, joins of sets retaining every column stay sets, and
+// projections dedup — so decoding skips the per-tuple dedup probe and the
+// relation's index is built lazily if a consumer needs it.
 func (b *ColBlock) ToRelation() *Relation {
-	r := New(b.schema)
+	rows := make([]Tuple, b.n)
 	for i := 0; i < b.n; i++ {
 		row := make(Tuple, len(b.cols))
 		for c := range b.cols {
 			col := &b.cols[c]
 			row[c] = col.dict[col.codes[i]]
 		}
-		r.MustInsert(row)
+		rows[i] = row
 	}
-	return r
+	return &Relation{schema: b.schema, rows: rows}
 }
 
 // Schema returns the block's schema.

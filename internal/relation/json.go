@@ -78,7 +78,9 @@ func (r *Relation) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("relation: tuple %d: %w", i, err)
 		}
 	}
-	*r = *out
+	// Field-wise assignment: copying the struct would copy its atomic field.
+	r.schema, r.rows = out.schema, out.rows
+	r.seen.Store(out.seen.Load())
 	return nil
 }
 

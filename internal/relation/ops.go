@@ -387,6 +387,8 @@ func Rename(r *Relation, mapping map[string]string) (*Relation, error) {
 			return nil, fmt.Errorf("relation: rename of missing attribute %q", from)
 		}
 	}
-	out := &Relation{schema: schema, rows: r.rows, seen: r.seen}
+	// Share rows only; a shared dedup index would alias later Inserts on the
+	// renamed relation into the original's membership checks.
+	out := &Relation{schema: schema, rows: r.rows}
 	return out, nil
 }

@@ -318,17 +318,17 @@ func partitionByKey(rows []Tuple, pos []int, n int) [][]Tuple {
 // rows append without re-checking the dedup map per row beyond registering
 // the keys.
 func concatDisjoint(schema *Schema, parts []*Relation) *Relation {
-	out := New(schema)
+	total := 0
 	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		for _, t := range p.rows {
-			out.rows = append(out.rows, t)
-		}
-		for k := range p.seen {
-			out.seen[k] = struct{}{}
+		if p != nil {
+			total += len(p.rows)
 		}
 	}
-	return out
+	rows := make([]Tuple, 0, total)
+	for _, p := range parts {
+		if p != nil {
+			rows = append(rows, p.rows...)
+		}
+	}
+	return &Relation{schema: schema, rows: rows}
 }

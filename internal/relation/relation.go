@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Tuple is a row of values laid out according to some Schema's column order.
@@ -91,15 +92,22 @@ func (t Tuple) String() string {
 // Relation is a set of tuples over a Schema. The zero value is not usable;
 // construct with New. Tuples are deduplicated on insertion, so Len is always
 // a set cardinality — the quantity the paper's cost model counts.
+//
+// The dedup index is built lazily: relations constructed from rows already
+// known to be distinct (NewFromDistinctRows, partition merges) pay for it
+// only if Insert, Contains, or an Equal receiver actually needs it.
 type Relation struct {
 	schema *Schema
 	rows   []Tuple
-	seen   map[string]struct{}
+	seen   atomic.Pointer[seenSet]
 }
+
+// seenSet is the dedup index: the key-encoded tuples currently in rows.
+type seenSet = map[string]struct{}
 
 // New returns an empty relation over the given schema.
 func New(schema *Schema) *Relation {
-	return &Relation{schema: schema, seen: make(map[string]struct{})}
+	return &Relation{schema: schema}
 }
 
 // NewFromRows returns a relation over schema containing the given rows
@@ -112,6 +120,38 @@ func NewFromRows(schema *Schema, rows []Tuple) (*Relation, error) {
 		}
 	}
 	return r, nil
+}
+
+// NewFromDistinctRows returns a relation over schema that takes ownership
+// of rows without re-deduplicating them — the caller asserts the rows are
+// pairwise distinct (e.g. a merge of hash-partitioned outputs, disjoint by
+// construction). Arity is still checked. The dedup index is built lazily on
+// first use; passing duplicate rows violates the set invariant silently.
+func NewFromDistinctRows(schema *Schema, rows []Tuple) (*Relation, error) {
+	for _, row := range rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("relation: tuple arity %d does not match schema %s (arity %d)",
+				len(row), schema, schema.Len())
+		}
+	}
+	return &Relation{schema: schema, rows: rows}, nil
+}
+
+// index returns the key set over the current rows, building it on first
+// use. Concurrent readers (Contains, Equal) may race to build it; the
+// compare-and-swap makes that safe (both build the same set, one wins).
+// Mutation via Insert was never safe to run concurrently with readers and
+// still is not.
+func (r *Relation) index() seenSet {
+	if p := r.seen.Load(); p != nil {
+		return *p
+	}
+	m := make(seenSet, len(r.rows))
+	for _, t := range r.rows {
+		m[t.key()] = struct{}{}
+	}
+	r.seen.CompareAndSwap(nil, &m)
+	return *r.seen.Load()
 }
 
 // Schema returns the relation's schema.
@@ -135,10 +175,11 @@ func (r *Relation) Insert(t Tuple) error {
 			len(t), r.schema, r.schema.Len())
 	}
 	k := t.key()
-	if _, dup := r.seen[k]; dup {
+	idx := r.index()
+	if _, dup := idx[k]; dup {
 		return nil
 	}
-	r.seen[k] = struct{}{}
+	idx[k] = struct{}{}
 	r.rows = append(r.rows, t)
 	return nil
 }
@@ -156,22 +197,18 @@ func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.schema.Len() {
 		return false
 	}
-	_, ok := r.seen[t.key()]
+	_, ok := r.index()[t.key()]
 	return ok
 }
 
-// Clone returns a deep-enough copy: the row slice and dedup set are copied;
-// tuples are shared (they are treated as immutable).
+// Clone returns a deep-enough copy: the row slice is copied; tuples are
+// shared (they are treated as immutable). The clone's dedup index is
+// rebuilt lazily if needed.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{
+	return &Relation{
 		schema: r.schema,
 		rows:   append([]Tuple(nil), r.rows...),
-		seen:   make(map[string]struct{}, len(r.seen)),
 	}
-	for k := range r.seen {
-		c.seen[k] = struct{}{}
-	}
-	return c
 }
 
 // Equal reports whether r and s are the same set of tuples over set-equal

@@ -98,9 +98,12 @@ type queryResponse struct {
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	// Parallelism is the worker count the query actually ran with (1 =
 	// sequential), after clamping and worker-budget degradation.
-	Parallelism int      `json:"parallelism"`
-	Plan        string   `json:"plan,omitempty"`
-	Notes       []string `json:"notes,omitempty"`
+	Parallelism int `json:"parallelism"`
+	// Shards is how many shards the query scattered across (absent or 1 =
+	// unsharded execution; Cost and Produced are merged totals either way).
+	Shards int      `json:"shards,omitempty"`
+	Plan   string   `json:"plan,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
 	// Result is present when include_result was set: the result relation,
 	// possibly truncated to max_result_tuples (see ResultTruncated).
 	Result          *relation.Relation `json:"result,omitempty"`
@@ -222,6 +225,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHit:    rep.PlanCacheHit,
 		QueueWaitMS: float64(rep.QueueWait) / float64(time.Millisecond),
 		Parallelism: rep.Parallelism,
+		Shards:      rep.Shards,
 		Plan:        rep.Plan,
 		Notes:       rep.Notes,
 	}

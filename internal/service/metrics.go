@@ -167,6 +167,36 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		"View maintenance runs aborted by the view's tuple budget (each triggers a rebuild).",
 		func() float64 { return float64(s.viewBudgetAborts.Load()) })
 
+	// Scatter-gather (sharding) series. All zero while sharding is off.
+	r.GaugeFunc("joind_shard_count",
+		"Configured shard count (0 when sharding is off).",
+		func() float64 {
+			if s.cfg.Shards > 1 {
+				return float64(s.cfg.Shards)
+			}
+			return 0
+		})
+	r.GaugeFunc("joind_shard_remote_peers",
+		"Remote shard peers configured (0 = in-process shard execution).",
+		func() float64 {
+			if s.remoteExec == nil {
+				return 0
+			}
+			return float64(s.remoteExec.Shards())
+		})
+	r.CounterFunc("joind_shard_executions_total",
+		"Queries executed through scatter-gather across the shard group.",
+		func() float64 { return float64(s.shardScatter.Load()) })
+	r.CounterFunc("joind_shard_single_fallbacks_total",
+		"Sharded queries executed single-shard because the plan's cleanliness analysis rejected scatter.",
+		func() float64 { return float64(s.shardSingle.Load()) })
+	r.CounterFunc("joind_shard_tuples_total",
+		"Result tuples gathered from scattered shard executions.",
+		func() float64 { return float64(s.shardTuples.Load()) })
+	r.CounterFunc("joind_shard_ingest_routed_tuples_total",
+		"Ingest tuples routed to owning shards (broadcast fan-out counted once).",
+		func() float64 { return float64(s.shardIngestRouted.Load()) })
+
 	r.CounterFunc("joind_plan_cache_invalidations_total",
 		"Plan-cache entries dropped because their database was mutated by ingest.",
 		func() float64 { return float64(s.cache.Stats().Invalidations) })

@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -115,6 +116,23 @@ type Config struct {
 	// SlowLogSize bounds the slow-query log's retained entries
 	// (default obs.DefaultSlowLogCapacity).
 	SlowLogSize int
+	// Shards is the number of shards queries scatter across (0 or 1 =
+	// sharding off). With Shards > 1 every registered database is
+	// hash-partitioned into an in-process shard group (internal/shard) and
+	// /v1/query routes through scatter-gather execution whenever the
+	// plan's cleanliness analysis admits it.
+	Shards int
+	// ShardBroadcastThreshold is the relation size below which a relation
+	// is broadcast to every shard instead of hash-partitioned (0 takes
+	// shard.DefaultBroadcastThreshold; negative = never broadcast by
+	// size). Only meaningful with Shards > 1.
+	ShardBroadcastThreshold int
+	// ShardPeers are remote joind base URLs, one per shard. When set,
+	// shard execution fans out over HTTP to these peers instead of running
+	// in-process: registrations push each peer its partition and ingest
+	// routes each batch's tuples to the owning peers, in WAL order. The
+	// peer count overrides Shards.
+	ShardPeers []string
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -140,6 +158,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.WorkerBudget <= 0 && cfg.QueryWorkers > 1 {
 		cfg.WorkerBudget = int64(cfg.Workers) * int64(cfg.QueryWorkers)
 	}
+	if len(cfg.ShardPeers) > 0 {
+		cfg.Shards = len(cfg.ShardPeers)
+	}
+	if cfg.Shards > 1 && cfg.ShardBroadcastThreshold == 0 {
+		cfg.ShardBroadcastThreshold = shard.DefaultBroadcastThreshold
+	}
 	return cfg
 }
 
@@ -162,6 +186,11 @@ type catalogEntry struct {
 	db          atomic.Pointer[relation.Database]
 	fingerprint string
 	acyclic     bool
+
+	// group is the database's sharded layout, nil when sharding is off.
+	// It is rebased (never mutated) on ingest under ingestMu; one load
+	// pins a consistent partitioned + unsharded snapshot pair.
+	group atomic.Pointer[shard.Group]
 
 	// ingestMu serializes the store append + catalog swap so the visible
 	// catalog never lags behind a later-acknowledged batch.
@@ -278,6 +307,12 @@ type Service struct {
 	viewDeltaBatches, viewTuplesIn, viewTuplesOut atomic.Int64
 	viewReducerSkips, viewRebuilds                atomic.Int64
 	viewBudgetAborts                              atomic.Int64
+
+	// remoteExec fans shard tasks out to cfg.ShardPeers; nil when shard
+	// execution is in-process (or sharding is off).
+	remoteExec *shard.HTTPExecutor
+	// Scatter-gather counters behind the joind_shard_* metric series.
+	shardScatter, shardSingle, shardTuples, shardIngestRouted atomic.Int64
 }
 
 // New builds a service from cfg (zero fields get defaults).
@@ -292,6 +327,9 @@ func New(cfg Config) *Service {
 	}
 	s.budgetRemaining.Store(cfg.GlobalMaxTuples)
 	s.workersRemaining.Store(cfg.WorkerBudget)
+	if len(cfg.ShardPeers) > 0 {
+		s.remoteExec = shard.NewHTTPExecutor(cfg.ShardPeers, nil)
+	}
 	s.ready.Store(true)
 	if cfg.SlowQueryThreshold > 0 {
 		s.slowLog = obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize)
@@ -344,6 +382,18 @@ func (s *Service) register(name string, db *relation.Database) (DatabaseInfo, er
 		acyclic:     h.Acyclic(),
 	}
 	e.db.Store(db)
+	if s.cfg.Shards > 1 {
+		g, err := shard.NewGroup(name, db, s.cfg.Shards, s.cfg.ShardBroadcastThreshold)
+		if err != nil {
+			return DatabaseInfo{}, fmt.Errorf("service: shard %q: %w", name, err)
+		}
+		if s.remoteExec != nil {
+			if err := s.pushGroup(g); err != nil {
+				return DatabaseInfo{}, fmt.Errorf("service: push shard partitions for %q: %w", name, err)
+			}
+		}
+		e.group.Store(g)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.dbs[name]; dup {
@@ -546,8 +596,14 @@ func (s *Service) startTrace(database string) *obs.Trace {
 func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Strategy, req Request, trace *obs.Trace) (*engine.Report, error) {
 	// One atomic load pins this query's catalog version: concurrent ingests
 	// swap the entry's pointer, but this query joins the exact instance it
-	// loaded here — never a half-applied batch.
+	// loaded here — never a half-applied batch. With sharding on, the group
+	// pointer is the one load: it carries the partitioned databases and the
+	// exact unsharded catalog they were split from.
+	grp := e.group.Load()
 	db := e.db.Load()
+	if grp != nil {
+		db = grp.Full()
+	}
 	var qspan *obs.Span
 	if trace != nil {
 		qspan = trace.Root.Child(obs.KindQueue, "admission queue")
@@ -613,7 +669,7 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 			resolved = engine.StrategyProgram
 		}
 	}
-	key := e.fingerprint + "#" + resolved.String()
+	key := planKey(e.fingerprint, resolved, grp)
 	var pcSpan *obs.Span
 	if trace != nil {
 		pcSpan = trace.Root.Child(obs.KindPlanCache, "plan cache lookup")
@@ -634,13 +690,18 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 		return nil, err
 	}
 
-	rep, err := engine.ExecutePlan(db, plan, opts)
+	rep, err := s.runPlan(grp, db, plan, opts)
 	if err != nil && strat == engine.StrategyAuto && errors.Is(err, govern.ErrTupleBudget) {
 		// The cached plan blew this query's budget; hand the query to the
 		// engine's governed degradation ladder, which tries cheaper
-		// machinery rung by rung with fresh per-attempt budgets.
+		// machinery rung by rung with fresh per-attempt budgets. Sharded
+		// queries climb the same ladder through the scatter layer.
 		s.degraded.Add(1)
-		rep, err = engine.Join(db, opts)
+		if grp != nil {
+			rep, err = s.shardLadder(e, grp, opts)
+		} else {
+			rep, err = engine.Join(db, opts)
+		}
 		if err == nil {
 			rep.Notes = append(rep.Notes, "plan cache: cached plan exceeded budget; re-ran degradation ladder")
 		}

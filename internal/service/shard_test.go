@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestPlanKeyShardAware is the regression test for the plan-cache key: the
+// historical fingerprint#strategy scheme would serve a plan cached by a
+// single-shard (or unsharded) execution to a sharded executor — whose
+// cleanliness analysis was never run against it — so the key must pin the
+// shard layout too.
+func TestPlanKeyShardAware(t *testing.T) {
+	db, err := workload.TriangleSpec{Nodes: 8, Edges: 20}.TriangleDatabase(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := shard.NewGroup("tri", db, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := shard.NewGroup("tri", db, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := "fp-test"
+	unsharded := planKey(fp, engine.StrategyColumnar, nil)
+	single := planKey(fp, engine.StrategyColumnar, g1)
+	sharded := planKey(fp, engine.StrategyColumnar, g4)
+	if unsharded != single {
+		t.Fatalf("nil group key %q != 1-shard group key %q (both are unsharded execution)", unsharded, single)
+	}
+	if sharded == unsharded {
+		t.Fatalf("4-shard key %q collides with unsharded key %q", sharded, unsharded)
+	}
+	if !strings.HasPrefix(sharded, fp+"#") {
+		t.Fatalf("key %q lost the fingerprint prefix ingest invalidation matches on", sharded)
+	}
+	if other := planKey(fp, engine.StrategyWCOJ, g4); other == sharded {
+		t.Fatal("strategy no longer distinguishes keys")
+	}
+}
+
+// TestShardedServiceQueryParity runs the same query through a sharded and
+// an unsharded service and asserts identical results, costs, and charges —
+// the service-level slice of the differential gauntlet — plus the scatter
+// counters behind the joind_shard_* metrics.
+func TestShardedServiceQueryParity(t *testing.T) {
+	db, err := workload.TriangleSpec{Nodes: 15, Edges: 60}.TriangleDatabase(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(Config{})
+	if _, err := plain.Register("tri", db); err != nil {
+		t.Fatal(err)
+	}
+	// Negative threshold: never broadcast by size, so the triangle's R and T
+	// partition and tree strategies scatter.
+	sharded := New(Config{Shards: 4, ShardBroadcastThreshold: -1})
+	if _, err := sharded.Register("tri", db); err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{"", "cpf-expression", "columnar", "wcoj", "reduce-then-join"} {
+		req := Request{Database: "tri", Strategy: strategy, MaxTuples: 1 << 40}
+		want, err := plain.Query(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%q unsharded: %v", strategy, err)
+		}
+		got, err := sharded.Query(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%q sharded: %v", strategy, err)
+		}
+		if !got.Result.Equal(want.Result) {
+			t.Fatalf("%q: sharded result differs (%d vs %d tuples)", strategy, got.Result.Len(), want.Result.Len())
+		}
+		if got.Cost != want.Cost || got.Produced != want.Produced {
+			t.Fatalf("%q: sharded cost/produced %d/%d != %d/%d",
+				strategy, got.Cost, got.Produced, want.Cost, want.Produced)
+		}
+	}
+	if sharded.shardScatter.Load() == 0 {
+		t.Fatal("no query scattered")
+	}
+	if sharded.shardSingle.Load() == 0 {
+		t.Fatal("no unclean query fell back to single-shard execution")
+	}
+	if sharded.shardTuples.Load() == 0 {
+		t.Fatal("scatter gathered no tuples")
+	}
+}
+
+// TestShardedServiceIngest routes a durable ingest batch through the shard
+// group rebase and asserts the post-batch sharded query matches an
+// unsharded reference over the same mutated catalog.
+func TestShardedServiceIngest(t *testing.T) {
+	db, err := workload.TriangleSpec{Nodes: 10, Edges: 35}.TriangleDatabase(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Shards: 4, ShardBroadcastThreshold: -1})
+	if err := svc.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("tri", db); err != nil {
+		t.Fatal(err)
+	}
+	batch := store.Batch{
+		{Relation: 0, Inserts: db.Relation(1).Rows()[:5]},
+		{Relation: 1, Deletes: db.Relation(1).Rows()[:2]},
+	}
+	if _, err := svc.Ingest(context.Background(), "tri", batch); err != nil {
+		t.Fatal(err)
+	}
+	if svc.shardIngestRouted.Load() == 0 {
+		t.Fatal("ingest routed no tuples through the shard group")
+	}
+
+	// Reference: apply the same batch unsharded and join sequentially.
+	ref, err := store.ApplyBatch(db, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Join(ref, engine.Options{Limits: govern.Limits{MaxTuples: 1 << 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Query(context.Background(), Request{Database: "tri", Strategy: "columnar", MaxTuples: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Equal(want.Result) {
+		t.Fatalf("post-ingest sharded result differs (%d vs %d tuples)", got.Result.Len(), want.Result.Len())
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

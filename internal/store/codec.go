@@ -150,6 +150,44 @@ func (b Batch) Tuples() int {
 	return n
 }
 
+// Route splits the batch into n per-shard batches, assigning every tuple
+// to the shard the owner function names (or to all shards when it returns
+// a negative index — the broadcast case). Within each output batch the
+// mutations keep the input batch's order and each mutation's deletes and
+// inserts keep their relative order, so applying the routed batches
+// preserves WAL order per shard. Mutations that route no tuples to a shard
+// are omitted; an output batch may therefore be empty.
+func (b Batch) Route(n int, owner func(rel int, t relation.Tuple) int) []Batch {
+	out := make([]Batch, n)
+	for _, m := range b {
+		parts := make([]Mutation, n)
+		for i := range parts {
+			parts[i].Relation = m.Relation
+		}
+		route := func(t relation.Tuple, add func(*Mutation, relation.Tuple)) {
+			if s := owner(m.Relation, t); s >= 0 {
+				add(&parts[s%n], t)
+				return
+			}
+			for i := range parts {
+				add(&parts[i], t)
+			}
+		}
+		for _, t := range m.Deletes {
+			route(t, func(p *Mutation, t relation.Tuple) { p.Deletes = append(p.Deletes, t) })
+		}
+		for _, t := range m.Inserts {
+			route(t, func(p *Mutation, t relation.Tuple) { p.Inserts = append(p.Inserts, t) })
+		}
+		for i := range parts {
+			if len(parts[i].Inserts) > 0 || len(parts[i].Deletes) > 0 {
+				out[i] = append(out[i], parts[i])
+			}
+		}
+	}
+	return out
+}
+
 // appendBatch encodes b onto dst: a uvarint mutation count, then per
 // mutation the relation index, the inserts, and the deletes (each a uvarint
 // count of length-prefixed tuples in the relation binary codec).

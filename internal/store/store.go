@@ -391,6 +391,16 @@ func (s *Store) Apply(name string, batch Batch) (ApplyResult, error) {
 	return ApplyResult{DB: next, Inserted: ins, Deleted: del, WALBytes: walBytes}, nil
 }
 
+// ApplyBatch applies one batch to a catalog copy-on-write, without any
+// durability: the sharding layer uses it to keep per-shard partitions in
+// step with the durable catalog by replaying routed batches. Semantics
+// match Store.Apply's in-memory step exactly (deletes before inserts,
+// absent deletes and duplicate inserts are no-ops).
+func ApplyBatch(db *relation.Database, batch Batch) (*relation.Database, error) {
+	next, _, _, err := applyBatch(db, batch)
+	return next, err
+}
+
 // applyBatch builds the post-batch catalog copy-on-write: only relations a
 // mutation touches are rebuilt; the rest are shared with the old catalog.
 // Within one mutation deletes apply before inserts. It returns the new

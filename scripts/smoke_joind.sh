@@ -316,4 +316,106 @@ grep -q '"result_count":5' /tmp/joind_view4.json || {
     exit 1
 }
 
-echo "joind smoke: OK (ready gate, durable register + ingest, continuous query maintenance + recovery, cache hit, columnar strategy, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay)"
+# Sharded execution round trip: restart the same data dir with a 4-shard
+# in-process group. A negative broadcast threshold forces the triangle's
+# R and T to partition (the smoke catalog is tiny, so the default
+# size-based broadcast would swallow everything). Partitioning must be
+# invisible to results, durable ingest, and views — and the
+# joind_shard_* metrics must move.
+kill -TERM "$JOIND_PID"
+wait "$JOIND_PID" || {
+    echo "joind did not exit cleanly on SIGTERM before sharded restart" >&2
+    exit 1
+}
+start_joind -shards 4 -shard-broadcast-threshold -1
+wait_ready
+# Pin the columnar strategy: the auto-resolved program route is unclean on
+# the triangle (BC never carries the partition attribute A), so it would
+# fall back to single-shard execution; the columnar join tree scatters.
+squery() {
+    curl -sS -o "$1" -w '%{http_code}' \
+        -X POST "$BASE/v1/query" \
+        -H 'Content-Type: application/json' \
+        -d '{"database":"triangle","strategy":"columnar","include_result":true}'
+}
+code=$(squery /tmp/joind_query6.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":5' /tmp/joind_query6.json; then
+    echo "sharded query: expected 200 with result_count 5 (got $code):" >&2
+    cat /tmp/joind_query6.json >&2
+    exit 1
+fi
+grep -q '"shards":4' /tmp/joind_query6.json || {
+    echo "sharded query: response does not report scattering across 4 shards:" >&2
+    cat /tmp/joind_query6.json >&2
+    exit 1
+}
+# Durable ingest routes the batch to owning shards after the WAL append.
+code=$(curl -sS -o /tmp/joind_ingest3.json -w '%{http_code}' \
+    -X POST "$BASE/v1/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"database":"triangle","mutations":[
+          {"relation":0,"inserts":[[30,31]]},
+          {"relation":1,"inserts":[[31,32]]},
+          {"relation":2,"inserts":[[32,30]]}]}')
+if [ "$code" != "200" ] || ! grep -q '"inserted":3' /tmp/joind_ingest3.json; then
+    echo "sharded ingest: expected 200 with 3 effective inserts (got $code):" >&2
+    cat /tmp/joind_ingest3.json >&2
+    exit 1
+fi
+code=$(squery /tmp/joind_query7.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":6' /tmp/joind_query7.json; then
+    echo "sharded query after ingest: expected 200 with result_count 6 (got $code):" >&2
+    cat /tmp/joind_query7.json >&2
+    exit 1
+fi
+# The recovered continuous query was delta-maintained through the sharded
+# ingest path too.
+curl -fsS "$BASE/v1/views/tri-view" >/tmp/joind_view5.json
+grep -q '"result_count":6' /tmp/joind_view5.json || {
+    echo "view after sharded ingest: expected result_count 6:" >&2
+    cat /tmp/joind_view5.json >&2
+    exit 1
+}
+# The shard metrics must reflect the scatter and the routed ingest.
+curl -fsS "$BASE/metrics" >/tmp/joind_metrics3.txt
+grep -qF 'joind_shard_count 4' /tmp/joind_metrics3.txt || {
+    echo "metrics: expected joind_shard_count 4:" >&2
+    grep 'joind_shard' /tmp/joind_metrics3.txt >&2 || true
+    exit 1
+}
+grep -qF 'joind_shard_remote_peers 0' /tmp/joind_metrics3.txt || {
+    echo "metrics: expected joind_shard_remote_peers 0 (in-process group):" >&2
+    grep 'joind_shard' /tmp/joind_metrics3.txt >&2 || true
+    exit 1
+}
+for series in joind_shard_executions_total joind_shard_tuples_total \
+    joind_shard_ingest_routed_tuples_total; do
+    awk -v s="$series" '$1 == s && $2 > 0 { found = 1 } END { exit !found }' \
+        /tmp/joind_metrics3.txt || {
+        echo "metrics: expected $series > 0:" >&2
+        grep 'joind_shard' /tmp/joind_metrics3.txt >&2 || true
+        exit 1
+    }
+done
+# Restart again, still sharded: the group rebuilds from the recovered
+# catalog and serves the post-ingest state.
+kill -TERM "$JOIND_PID"
+wait "$JOIND_PID" || {
+    echo "sharded joind did not exit cleanly on SIGTERM" >&2
+    exit 1
+}
+start_joind -shards 4 -shard-broadcast-threshold -1
+wait_ready
+code=$(squery /tmp/joind_query8.json)
+if [ "$code" != "200" ] || ! grep -q '"result_count":6' /tmp/joind_query8.json; then
+    echo "sharded query after restart: expected 200 with result_count 6 (got $code):" >&2
+    cat /tmp/joind_query8.json >&2
+    exit 1
+fi
+grep -q '"shards":4' /tmp/joind_query8.json || {
+    echo "sharded query after restart: response does not report 4 shards:" >&2
+    cat /tmp/joind_query8.json >&2
+    exit 1
+}
+
+echo "joind smoke: OK (ready gate, durable register + ingest, continuous query maintenance + recovery, cache hit, columnar strategy, metrics + slow log, SIGTERM clean restart, kill -9 WAL replay, 4-shard scatter round trip)"
