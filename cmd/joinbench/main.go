@@ -41,6 +41,7 @@ func main() {
 	ivmJSON := flag.String("ivm-json", "BENCH_ivm.json", "write the EX9 delta-apply-vs-recompute table as JSON to this file when EX9 runs (\"\" = skip)")
 	columnarJSON := flag.String("columnar-json", "BENCH_columnar.json", "write the EX10 columnar-vs-tuple-map table as JSON to this file when EX10 runs (\"\" = skip)")
 	shardJSON := flag.String("shard-json", "BENCH_shard.json", "write the EX11 scatter-gather scaling table as JSON to this file when EX11 runs (\"\" = skip)")
+	hybridJSON := flag.String("hybrid-json", "BENCH_hybrid.json", "write the EX12 hybrid-vs-static-ladder table as JSON to this file when EX12 runs (\"\" = skip)")
 	flag.Parse()
 
 	var deadline time.Time
@@ -74,6 +75,7 @@ func main() {
 	ex9Trials := 3
 	ex10Trials := 3
 	ex11Trials := 3
+	ex12Trials := 3
 	if *quick {
 		trials = 30
 		measured = []int64{6, 10}
@@ -82,6 +84,7 @@ func main() {
 		ex9Trials = 1
 		ex10Trials = 2
 		ex11Trials = 2
+		ex12Trials = 2
 	}
 	// q = 100 and 1000 are the paper's k = 2 and k = 3 instances; beyond
 	// q = 1000 the Θ(q⁵) CPF costs overflow int64.
@@ -154,6 +157,16 @@ func main() {
 			}
 			return table, err
 		}},
+		{"EX12", func() (*experiments.Table, error) {
+			table, bench, err := experiments.HybridComparison(*seed, ex12Trials, *quick)
+			if err == nil && *hybridJSON != "" {
+				if werr := writeHybridBench(*hybridJSON, bench); werr != nil {
+					return nil, werr
+				}
+			}
+			return table, err
+		}},
+		{"EX13", experiments.AdversarialGauntlet},
 	}
 
 	fmt.Println("Reproduction suite — Morishita, \"Avoiding Cartesian Products in Programs for Multiple Joins\" (PODS 1992)")
@@ -300,6 +313,24 @@ func writeColumnarBench(path string, bench *experiments.ColumnarBenchResult) err
 // writeShardBench stores the EX11 machine-readable scatter-gather scaling
 // table (-shard-json; "-" = stdout).
 func writeShardBench(path string, bench *experiments.ShardBenchResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench)
+}
+
+// writeHybridBench stores the EX12 machine-readable hybrid-vs-static-ladder
+// table (-hybrid-json; "-" = stdout).
+func writeHybridBench(path string, bench *experiments.HybridBenchResult) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

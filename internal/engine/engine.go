@@ -61,6 +61,15 @@ const (
 	// tuple-map operators remain the checked oracle while this is the fast
 	// path.
 	StrategyColumnar
+	// StrategyHybrid is the statistics-driven chooser: per-relation sketches
+	// (degree / distinct counts / equi-depth histograms, incrementally
+	// maintained on the mutation path) estimate each route's §2.3 cost and
+	// pick between the worst-case-optimal triejoin on the skewed cyclic
+	// core, binary-join programs through the columnar kernels elsewhere, or
+	// a mixed plan stitching the two — wcoj on hypergraph.Core, its output
+	// fed as a leaf into a binary tree over the pendant edges. Pure routes
+	// charge the governor identically to their static rungs.
+	StrategyHybrid
 )
 
 // String names the strategy.
@@ -82,6 +91,8 @@ func (s Strategy) String() string {
 		return "wcoj"
 	case StrategyColumnar:
 		return "columnar"
+	case StrategyHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -120,6 +131,14 @@ type Options struct {
 	// runs sequentially regardless (its semijoin passes are already linear
 	// in the inputs).
 	Workers int
+	// Sketches, when non-nil, supplies StrategyHybrid's maintained
+	// per-relation statistics (aligned with the database as passed: sketch i
+	// describes relation i) plus the served-traffic correction feedback.
+	// When nil, hybrid planning builds throwaway sketches by scanning the
+	// database once.
+	Sketches *optimizer.DBSketches
+	// Hybrid tunes the hybrid chooser (zero value = defaults).
+	Hybrid optimizer.HybridConfig
 	// Trace, when non-nil, is the parent span the execution hangs its span
 	// tree under: strategy resolution, one attempt span per strategy tried,
 	// and per-phase / per-statement / per-variable children below each
@@ -324,6 +343,8 @@ func runStrategy(db *relation.Database, h *hypergraph.Hypergraph, strat Strategy
 		rep, err = joinWCOJ(db, h, opts, gov)
 	case StrategyColumnar:
 		rep, err = joinColumnar(db, h, opts, gov)
+	case StrategyHybrid:
+		rep, err = joinHybrid(db, h, opts, gov)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", strat)
 	}

@@ -42,7 +42,7 @@ func TestGoldenExplain(t *testing.T) {
 	}
 	strategies := []Strategy{
 		StrategyProgram, StrategyExpression, StrategyReduceThenJoin, StrategyDirect, StrategyWCOJ,
-		StrategyColumnar,
+		StrategyColumnar, StrategyHybrid,
 	}
 	for _, d := range dbs {
 		want := d.db.Join()

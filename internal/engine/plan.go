@@ -48,6 +48,11 @@ type Plan struct {
 	// other strategies). Like the trees and programs above it depends only
 	// on the scheme, never on the instance, so it is cache-reusable.
 	VarOrder []string
+	// Hybrid carries StrategyHybrid's chosen route (nil for the other
+	// strategies). Unlike the fields above it depends on the instance's
+	// statistics, which is why the serving layer versions hybrid cache keys
+	// by the statistics version.
+	Hybrid *HybridPlan
 	// Notes records how the plan was obtained (search used, bound factors).
 	Notes []string
 }
@@ -70,7 +75,7 @@ func Strategies() []Strategy {
 	return []Strategy{
 		StrategyAuto, StrategyProgram, StrategyExpression,
 		StrategyReduceThenJoin, StrategyAcyclic, StrategyDirect, StrategyWCOJ,
-		StrategyColumnar,
+		StrategyColumnar, StrategyHybrid,
 	}
 }
 
@@ -167,6 +172,13 @@ func PlanFor(db *relation.Database, opts Options) (*Plan, error) {
 		}
 		p.Tree = tree
 		p.Notes = append(p.Notes, "optimized by "+how)
+	case StrategyHybrid:
+		hp, notes, err := planHybrid(cdb, ch, h.CanonicalOrder(), opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Hybrid = hp
+		p.Notes = append(p.Notes, notes...)
 	case StrategyProgram:
 		if !ch.Connected(ch.Full()) {
 			// Same fallback as joinProgram: Algorithms 1/2 need a connected
@@ -338,6 +350,11 @@ func ExecutePlan(db *relation.Database, plan *Plan, opts Options) (rep *Report, 
 			Cost:     int64(cost),
 			Plan:     "full reducer; monotone expression: " + tree.String(ch),
 			Notes:    []string{"no intermediate exceeds the output on the reduced database"},
+		}
+	case StrategyHybrid:
+		rep, err = executeHybrid(cdb, ch, plan.Hybrid, opts, gov)
+		if err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", plan.Strategy)

@@ -45,6 +45,28 @@ func NewHistogramEstimator(db *relation.Database, buckets int) (*HistogramEstima
 	return e, nil
 }
 
+// NewHistogramEstimatorFromSketches derives a HistogramEstimator from
+// maintained sketches without touching the relations: both the Stats and
+// the equi-depth histograms come straight out of the sketches' value
+// counts. sks[i] must describe relation i in database order.
+func NewHistogramEstimatorFromSketches(sks []*Sketch, buckets int) *HistogramEstimator {
+	if buckets <= 0 {
+		buckets = 32
+	}
+	e := &HistogramEstimator{
+		base:  make([]Stats, len(sks)),
+		hists: make([]map[string]*Histogram, len(sks)),
+	}
+	for i, s := range sks {
+		e.base[i] = s.Stats()
+		e.hists[i] = make(map[string]*Histogram, len(s.Attrs()))
+		for _, a := range s.Attrs() {
+			e.hists[i][a] = s.Histogram(a, buckets)
+		}
+	}
+	return e
+}
+
 // nodeEstimate carries the estimator's per-node state: cardinality,
 // distinct counts, and — for attributes that still reflect a single base
 // relation — the histogram to align against.

@@ -1,0 +1,238 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func randomRelation(t *testing.T, rng *rand.Rand, attrs []string, size, domain int) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.MustSchema(attrs...))
+	for i := 0; i < size; i++ {
+		tup := make(relation.Tuple, len(attrs))
+		for j := range tup {
+			tup[j] = relation.Int(int64(rng.Intn(domain)))
+		}
+		_ = r.Insert(tup)
+	}
+	return r
+}
+
+// TestBuildSketchMatchesCollectStats: the sketch's derived Stats must equal
+// a fresh scan's.
+func TestBuildSketchMatchesCollectStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r := randomRelation(t, rng, []string{"A", "B"}, 1+rng.Intn(200), 1+rng.Intn(20))
+		s := BuildSketch(r)
+		want := CollectStats(r)
+		got := s.Stats()
+		if got.Card != want.Card {
+			t.Fatalf("trial %d: Card %d, want %d", trial, got.Card, want.Card)
+		}
+		for a, d := range want.Distinct {
+			if got.Distinct[a] != d {
+				t.Fatalf("trial %d: Distinct[%s] %d, want %d", trial, a, got.Distinct[a], d)
+			}
+		}
+	}
+}
+
+// TestSketchHistogramMatchesBuildHistogram: the histogram derived from
+// value counts must equal the one built from a relation scan — same greedy
+// value-boundary bucketing.
+func TestSketchHistogramMatchesBuildHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		r := randomRelation(t, rng, []string{"A", "B"}, 1+rng.Intn(300), 1+rng.Intn(30))
+		s := BuildSketch(r)
+		buckets := 1 + rng.Intn(12)
+		for _, a := range []string{"A", "B"} {
+			want, err := BuildHistogram(r, a, buckets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s.Histogram(a, buckets)
+			if len(got.Bounds) != len(want.Bounds) {
+				t.Fatalf("trial %d attr %s: %d buckets, want %d", trial, a, len(got.Bounds), len(want.Bounds))
+			}
+			for i := range want.Bounds {
+				if !got.Bounds[i].Equal(want.Bounds[i]) || got.Rows[i] != want.Rows[i] || got.Distinct[i] != want.Distinct[i] {
+					t.Fatalf("trial %d attr %s bucket %d: got (%v,%d,%d), want (%v,%d,%d)",
+						trial, a, i, got.Bounds[i], got.Rows[i], got.Distinct[i],
+						want.Bounds[i], want.Rows[i], want.Distinct[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSketchApplyTracksMutations: set-respecting deltas keep the sketch
+// exactly equal to a fresh build of the mutated relation; blind deletes of
+// absent tuples clamp instead of going negative.
+func TestSketchApplyTracksMutations(t *testing.T) {
+	r := relation.New(relation.MustSchema("A", "B"))
+	r.MustInsert(relation.Ints(1, 10))
+	r.MustInsert(relation.Ints(2, 10))
+	r.MustInsert(relation.Ints(3, 11))
+	s := BuildSketch(r)
+
+	s.apply([]relation.Tuple{relation.Ints(4, 12)}, []relation.Tuple{relation.Ints(1, 10)})
+	r2 := relation.New(relation.MustSchema("A", "B"))
+	r2.MustInsert(relation.Ints(2, 10))
+	r2.MustInsert(relation.Ints(3, 11))
+	r2.MustInsert(relation.Ints(4, 12))
+	want := BuildSketch(r2)
+	if s.Rows() != want.Rows() {
+		t.Fatalf("rows %d, want %d", s.Rows(), want.Rows())
+	}
+	for _, a := range []string{"A", "B"} {
+		if s.Distinct(a) != want.Distinct(a) {
+			t.Fatalf("Distinct[%s] = %d, want %d", a, s.Distinct(a), want.Distinct(a))
+		}
+		if s.MaxDegree(a) != want.MaxDegree(a) {
+			t.Fatalf("MaxDegree[%s] = %d, want %d", a, s.MaxDegree(a), want.MaxDegree(a))
+		}
+	}
+	if s.Drift() != 2 {
+		t.Fatalf("drift = %d, want 2", s.Drift())
+	}
+
+	// Blind deletes of absent tuples clamp at zero.
+	for i := 0; i < 10; i++ {
+		s.apply(nil, []relation.Tuple{relation.Ints(99, 99)})
+	}
+	if s.Rows() < 0 {
+		t.Fatalf("rows went negative: %d", s.Rows())
+	}
+}
+
+// TestDBSketchesDriftTriggersRebuild: once blind deltas cross the
+// threshold, Apply rebuilds exactly from the live relation and the drift
+// resets while the monotone totals keep counting.
+func TestDBSketchesDriftTriggersRebuild(t *testing.T) {
+	r := relation.New(relation.MustSchema("A", "B"))
+	for i := 0; i < 10; i++ {
+		r.MustInsert(relation.Ints(int64(i), int64(i%3)))
+	}
+	db, err := relation.NewDatabase(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CollectSketches(db)
+	live := r.Clone()
+	rebuilt := false
+	for i := 0; i < 100 && !rebuilt; i++ {
+		tup := relation.Ints(int64(100+i), int64(i%5))
+		live.MustInsert(tup)
+		_, rebuilt = d.Apply(0, []relation.Tuple{tup}, nil, live)
+	}
+	if !rebuilt {
+		t.Fatal("100 single-tuple deltas never triggered a rebuild")
+	}
+	if d.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", d.Rebuilds())
+	}
+	sk := d.Snapshot()[0]
+	if sk.Drift() != 0 {
+		t.Fatalf("post-rebuild drift = %d, want 0", sk.Drift())
+	}
+	if sk.Rows() != int64(live.Len()) {
+		t.Fatalf("post-rebuild rows = %d, live relation has %d", sk.Rows(), live.Len())
+	}
+	if tot := d.DriftTotals()[0]; tot < 64 {
+		t.Fatalf("DriftTotals = %d, want the monotone count of applied deltas", tot)
+	}
+}
+
+// TestDBSketchesVersionAndFeedback: the version is monotone under Bump and
+// SetVersion, and Observe folds ratios into a correction EWMA.
+func TestDBSketchesVersionAndFeedback(t *testing.T) {
+	r := relation.New(relation.MustSchema("A"))
+	r.MustInsert(relation.Ints(1))
+	db, err := relation.NewDatabase(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CollectSketches(db)
+	if d.Version() != 0 {
+		t.Fatalf("fresh version = %d", d.Version())
+	}
+	if v := d.Bump(); v != 1 {
+		t.Fatalf("Bump = %d, want 1", v)
+	}
+	d.SetVersion(10)
+	if d.Version() != 10 {
+		t.Fatalf("SetVersion(10) → %d", d.Version())
+	}
+	d.SetVersion(5) // never backwards
+	if d.Version() != 10 {
+		t.Fatalf("SetVersion moved backwards to %d", d.Version())
+	}
+
+	if c := d.Correction("fp"); c != 1 {
+		t.Fatalf("correction before feedback = %v, want 1", c)
+	}
+	q := d.Observe("fp", 100, 400)
+	if q != 4 {
+		t.Fatalf("q-error = %v, want 4", q)
+	}
+	if c := d.Correction("fp"); c != 4 {
+		t.Fatalf("first correction = %v, want the raw ratio 4", c)
+	}
+	d.Observe("fp", 100, 100)
+	// EWMA: 0.7*4 + 0.3*1 = 3.1
+	if c := d.Correction("fp"); c < 3.09 || c > 3.11 {
+		t.Fatalf("EWMA correction = %v, want ≈3.1", c)
+	}
+	if q := d.Observe("fp", 400, 100); q != 4 {
+		t.Fatalf("under-run q-error = %v, want 4 (symmetric)", q)
+	}
+}
+
+// TestDBSketchesConcurrent hammers Apply against Snapshot/Stats readers —
+// the copy-on-write discipline under the race detector.
+func TestDBSketchesConcurrent(t *testing.T) {
+	r := relation.New(relation.MustSchema("A", "B"))
+	for i := 0; i < 50; i++ {
+		r.MustInsert(relation.Ints(int64(i), int64(i%7)))
+	}
+	db, err := relation.NewDatabase(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CollectSketches(db)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Apply(0, []relation.Tuple{relation.Ints(int64(1000*w+i), 1)}, nil, r)
+				d.Bump()
+				d.Observe("fp", 10, int64(10+i%5))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sks := d.Snapshot()
+				for _, s := range sks {
+					_ = s.Stats()
+					_ = s.Skew()
+					_ = s.Histogram("A", 8)
+				}
+				_ = d.Stats()
+				_ = d.Version()
+				_ = d.Correction("fp")
+			}
+		}()
+	}
+	wg.Wait()
+}

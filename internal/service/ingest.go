@@ -54,6 +54,13 @@ func (s *Service) AttachStore(st *store.Store) error {
 		if _, err := s.register(name, db); err != nil {
 			return fmt.Errorf("service: attach store: %w", err)
 		}
+		// Seed the statistics version from the store's durable batch count,
+		// so plan-cache keys never repeat version numbers across restarts.
+		if v, verr := st.Version(name); verr == nil {
+			if e, lerr := s.lookup(name); lerr == nil {
+				e.sketches.SetVersion(v)
+			}
+		}
 	}
 	// Re-register the durable continuous queries and rebuild each from the
 	// recovered catalog; their materialized state is derivable and never
@@ -144,6 +151,18 @@ func (s *Service) ingest(ctx context.Context, database string, batch store.Batch
 		e.group.Store(ng)
 		s.shardIngestRouted.Add(int64(batch.Tuples()))
 	}
+	// Fold the batch into the entry's statistics sketches against the
+	// post-batch relations (exact rebuilds trigger when accumulated drift
+	// crosses the threshold), then advance the version to the store's durable
+	// batch count. Both happen under ingestMu so sketch state tracks the
+	// catalog in WAL order — and both happen UNCONDITIONALLY, view or no
+	// view: the version bump is what keeps a post-ingest query from reusing
+	// a statistics-dependent cached plan, so it cannot be contingent on any
+	// other maintenance running for this database.
+	for _, m := range batch {
+		e.sketches.Apply(m.Relation, m.Inserts, m.Deletes, applied.DB.Relation(m.Relation))
+	}
+	e.sketches.SetVersion(applied.Version)
 	maintained := s.maintainViews(database, batch, applied.DB)
 	e.ingestMu.Unlock()
 	s.ingests.Add(1)
@@ -152,7 +171,8 @@ func (s *Service) ingest(ctx context.Context, database string, batch store.Batch
 	// may now be stale (plan choice reads cardinalities), so drop every
 	// strategy's plan for this fingerprint. Other databases sharing the
 	// scheme lose their plans too — a recomputation, not a correctness
-	// issue.
+	// issue. (The version suffix in planKey already keeps stale entries from
+	// being served; invalidation reclaims their cache slots.)
 	invalidated := s.cache.InvalidatePrefix(e.fingerprint + "#")
 
 	return IngestResult{

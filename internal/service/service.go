@@ -24,6 +24,7 @@ import (
 	"repro/internal/govern"
 	"repro/internal/hypergraph"
 	"repro/internal/obs"
+	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/relation"
 	"repro/internal/shard"
@@ -88,6 +89,9 @@ type Config struct {
 	// SearchBudget bounds optimizer search on plan-cache misses
 	// (engine Options.Budget; 0 = the optimizer default).
 	SearchBudget int64
+	// Hybrid tunes the statistics-driven hybrid chooser (engine
+	// Options.Hybrid; the zero value selects the chooser defaults).
+	Hybrid optimizer.HybridConfig
 	// QueryWorkers caps the intra-query parallelism of any single query
 	// (engine Options.Workers). The default 1 keeps queries sequential;
 	// raising it lets each query run its joins on up to QueryWorkers
@@ -186,6 +190,12 @@ type catalogEntry struct {
 	db          atomic.Pointer[relation.Database]
 	fingerprint string
 	acyclic     bool
+
+	// sketches are the per-relation statistics behind the hybrid strategy
+	// chooser: built at registration, maintained incrementally on the
+	// WAL-ordered ingest path, and versioned so statistics-dependent cached
+	// plans are keyed to the instance they were derived from. Never nil.
+	sketches *optimizer.DBSketches
 
 	// group is the database's sharded layout, nil when sharding is off.
 	// It is rebased (never mutated) on ingest under ingestMu; one load
@@ -380,6 +390,7 @@ func (s *Service) register(name string, db *relation.Database) (DatabaseInfo, er
 		name:        name,
 		fingerprint: h.Fingerprint(),
 		acyclic:     h.Acyclic(),
+		sketches:    optimizer.CollectSketches(db),
 	}
 	e.db.Store(db)
 	if s.cfg.Shards > 1 {
@@ -654,6 +665,8 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 		IndexedExecution: req.Indexed,
 		Limits:           lim,
 		Workers:          workers,
+		Sketches:         e.sketches,
+		Hybrid:           s.cfg.Hybrid,
 	}
 	if trace != nil {
 		opts.Trace = trace.Root
@@ -669,13 +682,13 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 			resolved = engine.StrategyProgram
 		}
 	}
-	key := planKey(e.fingerprint, resolved, grp)
+	key := planKey(e.fingerprint, resolved, grp, e.sketches.Version())
 	var pcSpan *obs.Span
 	if trace != nil {
 		pcSpan = trace.Root.Child(obs.KindPlanCache, "plan cache lookup")
 	}
 	plan, hit, err := s.cache.GetOrCompute(key, func() (*engine.Plan, error) {
-		return engine.PlanFor(db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget})
+		return engine.PlanFor(db, engine.Options{Strategy: resolved, Budget: s.cfg.SearchBudget, Sketches: e.sketches, Hybrid: s.cfg.Hybrid})
 	})
 	if pcSpan != nil {
 		if hit {
@@ -716,6 +729,15 @@ func (s *Service) execute(ctx context.Context, e *catalogEntry, strat engine.Str
 	}
 	rep.PlanCacheHit = hit
 	rep.QueueWait = wait
+	// Close the estimation loop: a hybrid plan carries the §2.3 cost its
+	// chooser predicted; the governor charged the actual. The q-error folds
+	// into the entry's correction EWMA, biasing the next choice for this
+	// scheme, and feeds the joind_optimizer_qerror series.
+	if plan.Hybrid != nil && plan.Hybrid.EstCost > 0 && rep.Cost > 0 {
+		q := e.sketches.Observe(e.fingerprint, plan.Hybrid.EstCost, rep.Cost)
+		s.metrics.optimizerQError.Observe(q)
+		s.metrics.hybridRoutes.Inc(plan.Hybrid.Route)
+	}
 	s.succeeded.Add(1)
 	return rep, nil
 }
@@ -783,6 +805,22 @@ func (s *Service) finish(trace *obs.Trace, req Request, rep *engine.Report, err 
 			s.metrics.slow.Inc()
 		}
 	}
+}
+
+// sketchTotals aggregates the catalog's sketch counters for the
+// joind_optimizer_* series: total drift deltas, total exact rebuilds, and
+// the sum of statistics versions.
+func (s *Service) sketchTotals() (drift, rebuilds, versions int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.dbs {
+		for _, d := range e.sketches.DriftTotals() {
+			drift += d
+		}
+		rebuilds += e.sketches.Rebuilds()
+		versions += e.sketches.Version()
+	}
+	return drift, rebuilds, versions
 }
 
 // strategyName maps the empty request strategy to auto.

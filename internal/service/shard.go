@@ -27,18 +27,22 @@ import (
 // partition and ingest routes each batch's tuples to the owning peers in
 // WAL order.
 
-// planKey builds the plan-cache key. It extends the historical
-// fingerprint#strategy scheme with the shard count, so a plan derived for
-// (and validated clean against) one shard layout is never served to
-// another: scheme fingerprints are layout-blind, and the cleanliness
-// analysis Run applies depends on the plan instance it is handed.
-// Ingest invalidation by fingerprint+"#" prefix still covers every key.
-func planKey(fingerprint string, strat engine.Strategy, grp *shard.Group) string {
+// planKey builds the plan-cache key: fingerprint#strategy#sN#vK. The shard
+// count keeps a plan derived for (and validated clean against) one shard
+// layout from being served to another — scheme fingerprints are
+// layout-blind, and the cleanliness analysis Run applies depends on the plan
+// instance it is handed. The statistics version pins statistics-dependent
+// plans (the hybrid route above all) to the instance whose sketches chose
+// them: every ingest batch bumps it, so a post-ingest query misses and
+// re-plans against fresh statistics instead of reusing a route picked for
+// data that no longer exists. Ingest invalidation by fingerprint+"#" prefix
+// still covers every key.
+func planKey(fingerprint string, strat engine.Strategy, grp *shard.Group, version int64) string {
 	n := 1
 	if grp != nil {
 		n = grp.Shards()
 	}
-	return fingerprint + "#" + strat.String() + "#s" + strconv.Itoa(n)
+	return fingerprint + "#" + strat.String() + "#s" + strconv.Itoa(n) + "#v" + strconv.FormatInt(version, 10)
 }
 
 // executor picks the shard executor for a group: the configured remote
@@ -82,7 +86,7 @@ func (s *Service) shardLadder(e *catalogEntry, grp *shard.Group, opts engine.Opt
 	ladder := engine.DegradationLadder(h)
 	var chain []string
 	for i, strat := range ladder {
-		key := planKey(e.fingerprint, strat, grp)
+		key := planKey(e.fingerprint, strat, grp, e.sketches.Version())
 		plan, _, err := s.cache.GetOrCompute(key, func() (*engine.Plan, error) {
 			return engine.PlanFor(grp.Full(), engine.Options{Strategy: strat, Budget: s.cfg.SearchBudget})
 		})

@@ -32,9 +32,9 @@ func TestPlanKeyShardAware(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp := "fp-test"
-	unsharded := planKey(fp, engine.StrategyColumnar, nil)
-	single := planKey(fp, engine.StrategyColumnar, g1)
-	sharded := planKey(fp, engine.StrategyColumnar, g4)
+	unsharded := planKey(fp, engine.StrategyColumnar, nil, 0)
+	single := planKey(fp, engine.StrategyColumnar, g1, 0)
+	sharded := planKey(fp, engine.StrategyColumnar, g4, 0)
 	if unsharded != single {
 		t.Fatalf("nil group key %q != 1-shard group key %q (both are unsharded execution)", unsharded, single)
 	}
@@ -44,8 +44,11 @@ func TestPlanKeyShardAware(t *testing.T) {
 	if !strings.HasPrefix(sharded, fp+"#") {
 		t.Fatalf("key %q lost the fingerprint prefix ingest invalidation matches on", sharded)
 	}
-	if other := planKey(fp, engine.StrategyWCOJ, g4); other == sharded {
+	if other := planKey(fp, engine.StrategyWCOJ, g4, 0); other == sharded {
 		t.Fatal("strategy no longer distinguishes keys")
+	}
+	if bumped := planKey(fp, engine.StrategyColumnar, g4, 1); bumped == sharded {
+		t.Fatal("statistics version no longer distinguishes keys")
 	}
 }
 

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Statistics versions are durable mutation counters: every database carries
+// a version equal to the number of batches ever applied to it, and the
+// serving layer folds it into plan-cache keys (fingerprint#strategy#sN#vK)
+// so statistics-dependent plans are invalidated by ingest instead of being
+// re-served stale. The counter must survive restarts — otherwise a reopened
+// store would hand out version numbers that collide with pre-crash cache
+// state upstream — so the base value as of the last checkpoint lives in one
+// stats.dat file at the store root (views.dat's atomic-write protocol, its
+// own magic) and recovery adds the replayed WAL records on top. The write
+// ordering in checkpoint (snapshot → stats base → WAL truncate) can only
+// overcount after a crash, never regress: a monotone version is the one
+// property cache keys rely on.
+const (
+	statsName  = "stats.dat"
+	statsTemp  = "stats.tmp"
+	statsMagic = "JDSTA\x00\x00\x01"
+)
+
+// saveStatsBases atomically replaces stats.dat with the given name→version
+// bases. Caller must hold s.mu.
+func (s *Store) saveStatsBasesLocked() error {
+	payload, err := json.Marshal(s.statsBases)
+	if err != nil {
+		return fmt.Errorf("store: encoding stats bases: %w", err)
+	}
+	frame := appendRecord(make([]byte, 0, len(statsMagic)+recordHeaderSize+len(payload)), payload)
+	tmp := filepath.Join(s.dir, statsTemp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(statsMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, statsName)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// setStatsBase records name's checkpoint-time version base and persists the
+// file. Safe to call while holding a dbState mutex (s.mu never nests inside
+// another dbState's mu on any path).
+func (s *Store) setStatsBase(name string, version int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.statsBases == nil {
+		s.statsBases = make(map[string]int64)
+	}
+	s.statsBases[name] = version
+	return s.saveStatsBasesLocked()
+}
+
+// loadStatsBases reads dir's stats.dat. A missing file means every base is
+// zero (pre-stats stores upgrade transparently); corruption is a hard error
+// because the atomic write protocol cannot tear the file.
+func loadStatsBases(dir string) (map[string]int64, error) {
+	_ = os.Remove(filepath.Join(dir, statsTemp)) // stale save attempt
+	raw, err := os.ReadFile(filepath.Join(dir, statsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[string]int64{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(statsMagic) || string(raw[:len(statsMagic)]) != statsMagic {
+		return nil, fmt.Errorf("%w: %s is not a stats-base file (or is a different format version)", ErrBadMagic, statsName)
+	}
+	payload, n, err := readRecordLimit(raw[len(statsMagic):], maxFramePayload)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", statsName, err)
+	}
+	if len(statsMagic)+n != len(raw) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after stats-base record", ErrCorrupt, len(raw)-len(statsMagic)-n)
+	}
+	bases := map[string]int64{}
+	if err := json.Unmarshal(payload, &bases); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", statsName, err)
+	}
+	return bases, nil
+}
+
+// Version returns the named database's statistics version: the number of
+// batches ever applied to it, monotone across restarts (a crash between a
+// checkpoint's stats write and its WAL truncate can overcount, never
+// regress).
+func (s *Store) Version(name string) (int64, error) {
+	st, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.version, nil
+}

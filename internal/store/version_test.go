@@ -1,0 +1,145 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func applyOne(t *testing.T, s *Store, name string, a, b int64) ApplyResult {
+	t.Helper()
+	res, err := s.Apply(name, Batch{
+		{Relation: 0, Inserts: []relation.Tuple{relation.Ints(a, b)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestVersionCountsBatches: every Apply advances the statistics version by
+// one and reports it in the result.
+func TestVersionCountsBatches(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	if err := s.Create("tri", triangle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Version("tri"); err != nil || v != 0 {
+		t.Fatalf("fresh version = %d (%v), want 0", v, err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		res := applyOne(t, s, "tri", 100+i, 200+i)
+		if res.Version != i {
+			t.Fatalf("ApplyResult.Version = %d after batch %d", res.Version, i)
+		}
+	}
+	if v, err := s.Version("tri"); err != nil || v != 5 {
+		t.Fatalf("Version = %d (%v), want 5", v, err)
+	}
+	if _, err := s.Version("missing"); err == nil {
+		t.Fatal("Version on an unknown database should fail")
+	}
+}
+
+// TestVersionSurvivesReplay: without a checkpoint, a reopen reconstructs the
+// version as persisted base + replayed WAL records; with a checkpoint, the
+// base alone carries it. Either way the version never regresses.
+func TestVersionSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{CheckpointEvery: -1})
+	if err := s.Create("tri", triangle(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		applyOne(t, s, "tri", 100+i, 200+i)
+	}
+	// Reopen WITHOUT Close: the WAL tail holds all three batches and the
+	// persisted base is still 0, exactly the post-crash shape.
+	s2 := open(t, dir, Options{CheckpointEvery: -1})
+	if v, err := s2.Version("tri"); err != nil || v != 3 {
+		t.Fatalf("replayed version = %d (%v), want base 0 + 3 replayed", v, err)
+	}
+	applyOne(t, s2, "tri", 300, 301)
+	if err := s2.Checkpoint("tri"); err != nil {
+		t.Fatal(err)
+	}
+	// After the checkpoint the base is 4 and the WAL is empty.
+	s3 := open(t, dir, Options{CheckpointEvery: -1})
+	if v, err := s3.Version("tri"); err != nil || v != 4 {
+		t.Fatalf("checkpointed version = %d (%v), want 4", v, err)
+	}
+	_ = s3.Close()
+}
+
+// TestVersionSurvivesCleanClose: Close's final checkpoint persists the base,
+// so a clean restart resumes the count with zero replay.
+func TestVersionSurvivesCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Create("tri", triangle(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 7; i++ {
+		applyOne(t, s, "tri", 100+i, 200+i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if s2.Stats().ReplayedRecords != 0 {
+		t.Fatalf("clean close left %d WAL records", s2.Stats().ReplayedRecords)
+	}
+	if v, err := s2.Version("tri"); err != nil || v != 7 {
+		t.Fatalf("version after clean restart = %d (%v), want 7", v, err)
+	}
+	if res := applyOne(t, s2, "tri", 500, 501); res.Version != 8 {
+		t.Fatalf("post-restart ApplyResult.Version = %d, want 8", res.Version)
+	}
+}
+
+// TestVersionMissingStatsFile: stores written before stats.dat existed (or
+// with the file deleted) upgrade transparently — versions restart from the
+// replayed record count.
+func TestVersionMissingStatsFile(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Create("tri", triangle(t)); err != nil {
+		t.Fatal(err)
+	}
+	applyOne(t, s, "tri", 100, 200)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, statsName)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if v, err := s2.Version("tri"); err != nil || v != 0 {
+		t.Fatalf("version without stats.dat = %d (%v), want 0 (fresh count)", v, err)
+	}
+}
+
+// TestStatsFileCorruptionDetected: a stats.dat with a bad magic fails Open
+// loudly instead of silently resetting every version.
+func TestStatsFileCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Create("tri", triangle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, statsName), []byte("garbage!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt stats.dat")
+	}
+}
